@@ -1,0 +1,119 @@
+"""E11 — section 6 outlook, ablation: does a resource broker help?
+
+Paper motivation: without a broker, users pick destinations by habit —
+"scientists often continue to work at the site and on the system they
+know" (section 1), causing "sub-optimal use of expensive resources".
+
+Setup: the FZJ T3E carries heavy local load while the rest of the grid
+is quiet.  Twenty UNICORE jobs are placed (a) the habit way — always the
+home T3E — and (b) by the section-6 broker using live load information.
+A third arm repeats both under *uniform* load everywhere.
+
+Expected shape: under skewed load the broker cuts mean turnaround by a
+large factor; under uniform load the two placements are comparable (the
+broker cannot manufacture capacity, it can only avoid hotspots).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import print_table
+from repro.client import JobMonitorController, JobPreparationAgent
+from repro.ext import ResourceBroker
+from repro.grid import LocalLoadGenerator, WorkloadProfile, build_grid
+from repro.resources import ResourceRequest
+from repro.simkernel import derive_rng
+
+SITES = {
+    "FZJ": ["FZJ-T3E"], "RUS": ["RUS-T3E"],
+    "RUKA": ["RUKA-SP2"], "ZIB": ["ZIB-SP2"],
+}
+N_JOBS = 20
+RUNTIME = 1800.0
+
+
+def _turnarounds(placement: str, skewed: bool) -> list[float]:
+    grid = build_grid(SITES, seed=11)
+    user = grid.add_user("Habit User", logins={s: "hab" for s in SITES})
+    sessions = {s: grid.connect_user(user, s) for s in SITES}
+    broker = ResourceBroker.for_grid(grid)
+
+    load_profile = WorkloadProfile(mean_runtime_s=7200.0, max_cpus=256)
+    load_sites = list(SITES) if not skewed else ["FZJ"]
+    rate = 1 / 400.0 if skewed else 1 / 1600.0
+    for site in load_sites:
+        LocalLoadGenerator(
+            grid.sim,
+            grid.usites[site].vsites[SITES[site][0]].batch,
+            derive_rng(11, f"load:{site}:{skewed}"),
+            arrival_rate_per_s=rate,
+            profile=load_profile,
+            horizon_s=2 * 3600.0,
+        )
+    grid.sim.run(until=2 * 3600.0)  # build the backlog
+
+    turnarounds = []
+
+    def stream(sim):
+        rng = derive_rng(11, f"jobs:{placement}:{skewed}")
+        pending = []
+        for i in range(N_JOBS):
+            request = ResourceRequest(cpus=64, time_s=RUNTIME * 3,
+                                      memory_mb=4096)
+            if placement == "habit":
+                site, vsite = "FZJ", "FZJ-T3E"
+            else:
+                decision = broker.choose(request, baseline_runtime_s=RUNTIME)
+                site, vsite = decision.usite, decision.vsite
+            session = sessions[site]
+            jpa = JobPreparationAgent(session)
+            job = jpa.new_job(f"{placement}{i}", vsite=vsite)
+            job.script_task(
+                "work", script="#!/bin/sh\n./app\n", resources=request,
+                simulated_runtime_s=RUNTIME,
+            )
+            t0 = sim.now
+            job_id = yield from jpa.submit(job)
+            pending.append((session, job_id, t0))
+            yield sim.timeout(float(rng.uniform(30.0, 120.0)))
+        for session, job_id, t0 in pending:
+            jmc = JobMonitorController(session)
+            session.client.poll_interval_s = 120.0
+            yield from jmc.wait_for_completion(job_id)
+            turnarounds.append(sim.now - t0)
+
+    grid.sim.run(until=grid.sim.process(stream(grid.sim)))
+    return turnarounds
+
+
+@pytest.mark.benchmark(group="E11-broker-ablation")
+def test_e11_broker_vs_habit(benchmark):
+    results = {}
+
+    def run():
+        for skewed in (True, False):
+            for placement in ("habit", "broker"):
+                results[(placement, skewed)] = _turnarounds(placement, skewed)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    means = {}
+    for (placement, skewed), values in results.items():
+        arr = np.asarray(values)
+        means[(placement, skewed)] = float(arr.mean())
+        rows.append((
+            "skewed" if skewed else "uniform", placement,
+            f"{arr.mean():9.0f}", f"{np.median(arr):9.0f}",
+            f"{arr.max():9.0f}",
+        ))
+    print_table(
+        f"E11: turnaround (s) of {N_JOBS} jobs, habit (home T3E) vs broker",
+        ["load", "placement", "mean", "median", "max"],
+        rows,
+    )
+
+    # Under skew the broker wins big.
+    assert means[("broker", True)] < 0.5 * means[("habit", True)]
+    # Under uniform load it does not *hurt* much (within 2x).
+    assert means[("broker", False)] < 2.0 * means[("habit", False)]

@@ -1,0 +1,134 @@
+"""E12 — section 5.2: signed applets — tamper detection and its cost.
+
+Paper mechanism: the JPA/JMC are signed applets; "the applet certificate
+is checked to assure the user that the software has not been tampered
+with and can be trusted".
+
+Expected shape: signing and verification cost grows linearly with bundle
+size (hashing dominates once bundles exceed the RSA fixed cost); every
+single-byte tamper across a randomized campaign is detected — zero
+misses.
+"""
+
+import random
+
+import pytest
+
+from benchmarks._util import print_table
+from repro.security import (
+    AppletBundle,
+    CertificateAuthority,
+    DistinguishedName,
+    TamperedBundleError,
+    sign_applet,
+    verify_applet,
+)
+from repro.security.x509 import CertificateRole
+
+CA = CertificateAuthority(key_bits=384, seed=91)
+DEV_CERT, DEV_KEY = CA.issue(
+    DistinguishedName(cn="UNICORE Software", o="Consortium"),
+    role=CertificateRole.SOFTWARE,
+)
+
+SIZES = [1 << 12, 1 << 16, 1 << 20, 1 << 23]
+
+
+def _bundle(total_bytes: int, n_files: int = 16) -> AppletBundle:
+    rng = random.Random(total_bytes)
+    bundle = AppletBundle(name="JPA", version="3.0")
+    per_file = total_bytes // n_files
+    for i in range(n_files):
+        bundle.add_file(
+            f"jpa/Class{i:02d}.class", rng.randbytes(per_file)
+        )
+    return bundle
+
+
+@pytest.mark.benchmark(group="E12-applet-signing")
+@pytest.mark.parametrize("size", SIZES)
+def test_e12_sign_cost(benchmark, size):
+    bundle = _bundle(size)
+    applet = benchmark(sign_applet, bundle, DEV_CERT, DEV_KEY)
+    verify_applet(applet)
+
+
+@pytest.mark.benchmark(group="E12-applet-signing")
+@pytest.mark.parametrize("size", SIZES)
+def test_e12_verify_cost(benchmark, size):
+    applet = sign_applet(_bundle(size), DEV_CERT, DEV_KEY)
+    benchmark(verify_applet, applet)
+
+
+@pytest.mark.benchmark(group="E12-applet-signing")
+def test_e12_tamper_campaign_zero_misses(benchmark):
+    """Flip one byte anywhere, add or drop a file: always detected."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rng = random.Random(12)
+    detected = attempts = 0
+    rows = []
+    for size in SIZES:
+        size_detected = 0
+        trials = 40
+        for trial in range(trials):
+            applet = sign_applet(_bundle(size), DEV_CERT, DEV_KEY)
+            mode = trial % 3
+            files = applet.bundle.files
+            if mode == 0:  # flip one byte in one file
+                path = rng.choice(sorted(files))
+                data = bytearray(files[path])
+                pos = rng.randrange(len(data))
+                data[pos] ^= 1 << rng.randrange(8)
+                files[path] = bytes(data)
+            elif mode == 1:  # add a backdoor class
+                files["jpa/Backdoor.class"] = rng.randbytes(64)
+            else:  # drop a class
+                del files[rng.choice(sorted(files))]
+            attempts += 1
+            try:
+                verify_applet(applet)
+            except TamperedBundleError:
+                detected += 1
+                size_detected += 1
+        rows.append((f"{size >> 10} KiB", trials, size_detected))
+    print_table(
+        "E12: tamper-detection campaign (byte flips, additions, deletions)",
+        ["bundle size", "attempts", "detected"],
+        rows,
+    )
+    assert detected == attempts  # zero misses, the security claim
+
+
+@pytest.mark.benchmark(group="E12-applet-signing")
+def test_e12_scaling_report(benchmark):
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    costs = {}
+    for size in SIZES:
+        bundle = _bundle(size)
+        reps = 20
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            applet = sign_applet(bundle, DEV_CERT, DEV_KEY)
+        t_sign = (time.perf_counter() - t0) / reps
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            verify_applet(applet)
+        t_verify = (time.perf_counter() - t0) / reps
+        costs[size] = t_verify
+        rows.append((
+            f"{size >> 10} KiB", f"{t_sign * 1e3:8.2f}",
+            f"{t_verify * 1e3:8.2f}",
+            f"{size / t_verify / 1e6:8.1f}",
+        ))
+    print_table(
+        "E12: sign/verify cost vs bundle size",
+        ["bundle", "sign ms", "verify ms", "verify MB/s"],
+        rows,
+    )
+    # Hashing-dominated: 2048x bigger bundle costs far more than the
+    # fixed RSA floor, and throughput converges (linear regime).
+    assert costs[SIZES[-1]] > 5 * costs[SIZES[0]]

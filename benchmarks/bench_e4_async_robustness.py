@@ -1,0 +1,192 @@
+"""E4 — section 5.3: the asynchronous protocol is more robust.
+
+Paper claim: "It is an asynchronous protocol ... more robust than a
+synchronous protocol.  By minimizing the length of time that an
+interaction takes the asynchronous protocol protects against any
+unreliability of the underlying communication mechanism."
+
+Setup: same lossy link, same 10-minute job.  The async client consigns
+(one short interaction) and later polls; the sync baseline holds the
+connection with keepalives for the whole job and restarts the entire
+interaction (job included) on any lost message.
+
+Expected shape: async completion rate stays at 1.0 with modest retry
+counts deep into loss rates where the sync interaction's survival
+probability (≈ (1-p)^messages) collapses and it exhausts its retries.
+"""
+
+import pytest
+
+from benchmarks._util import print_table
+from repro.net import Network, establish_https
+from repro.protocol import (
+    AsyncProtocolClient,
+    Reply,
+    ReplyRouter,
+    Request,
+    RetryExhausted,
+    RetryPolicy,
+    SyncProtocolClient,
+)
+from repro.security import CertificateAuthority, CertificateStore, DistinguishedName
+from repro.security.x509 import CertificateRole
+from repro.simkernel import Simulator
+
+JOB_DURATION_S = 600.0
+TRIALS = 20
+LOSS_RATES = (0.0, 0.02, 0.05, 0.10, 0.20)
+MAX_ATTEMPTS = 8
+
+
+def _pki():
+    ca = CertificateAuthority(key_bits=384, seed=71)
+    store = CertificateStore(trusted=[ca])
+    c_cert, c_key = ca.issue(DistinguishedName(cn="C"), role=CertificateRole.USER)
+    s_cert, s_key = ca.issue(
+        DistinguishedName(cn="s.site"), role=CertificateRole.SERVER
+    )
+    return dict(
+        client_cert=c_cert, client_key=c_key,
+        server_cert=s_cert, server_key=s_key,
+        client_store=store, server_store=store,
+    )
+
+
+PKI = _pki()
+
+
+def _wire(loss, seed):
+    sim = Simulator()
+    net = Network(sim, seed=seed)
+    net.add_host("client")
+    net.add_host("server")
+    net.link("client", "server", latency_s=0.02, bandwidth_Bps=250_000.0)
+    state = {}
+
+    def wiring(sim):
+        state["channel"] = yield from establish_https(
+            sim, net, "client", "server", **PKI
+        )
+
+    sim.run(until=sim.process(wiring(sim)))
+    net.get_link("client", "server").loss_probability = loss
+    net.get_link("server", "client").loss_probability = loss
+    return sim, net, state["channel"]
+
+
+def _async_trial(loss, seed):
+    """Returns (completed, requests_sent)."""
+    sim, net, channel = _wire(loss, seed)
+    router = ReplyRouter(sim, net.host("client"))
+    client = AsyncProtocolClient(
+        sim, channel, router,
+        retry=RetryPolicy(max_attempts=MAX_ATTEMPTS, base_delay_s=1.0,
+                          max_delay_s=8.0),
+        poll_interval_s=60.0,
+    )
+
+    # Minimal NJS stand-in: acks consigns, answers polls, job finishes
+    # after JOB_DURATION_S.
+    t_done = {}
+
+    def server_loop(sim):
+        host = net.host("server")
+        while True:
+            message = yield host.receive()
+            request = message.payload
+            if not isinstance(request, Request):
+                continue
+            if request.kind == "consign_job":
+                t_done.setdefault("at", sim.now + JOB_DURATION_S)
+                body = b"consigned"
+            else:
+                done = "at" in t_done and sim.now >= t_done["at"]
+                body = b"terminal" if done else b"running"
+            reply = Reply(request_id=request.request_id, ok=True, payload=body)
+            channel.send(reply, reply.wire_size, to_server=False)
+
+    sim.process(server_loop(sim))
+
+    def user(sim):
+        yield from client.consign(b"JOB" * 200, user_dn="CN=C")
+        yield from client.poll_until(
+            make_query=lambda: b"status?",
+            user_dn="CN=C",
+            is_done=lambda r: r.payload == b"terminal",
+        )
+        return True
+
+    process = sim.process(user(sim))
+    try:
+        sim.run(until=process)
+        return True, client.requests_sent
+    except RetryExhausted:
+        return False, client.requests_sent
+
+
+def _sync_trial(loss, seed):
+    """Returns (completed, interactions_started)."""
+    sim, net, channel = _wire(loss, seed)
+    sync = SyncProtocolClient(
+        sim, channel,
+        retry=RetryPolicy(max_attempts=MAX_ATTEMPTS, base_delay_s=1.0,
+                          max_delay_s=8.0),
+        keepalive_interval_s=15.0,
+    )
+
+    def user(sim):
+        yield from sync.submit_and_hold(
+            b"JOB" * 200, user_dn="CN=C", job_duration_s=JOB_DURATION_S
+        )
+        return True
+
+    process = sim.process(user(sim))
+    try:
+        sim.run(until=process)
+        return True, sync.interactions_started
+    except RetryExhausted:
+        return False, sync.interactions_started
+
+
+@pytest.mark.benchmark(group="E4-async-robustness")
+def test_e4_async_vs_sync_under_loss(benchmark):
+    results = {}
+
+    def run():
+        for loss in LOSS_RATES:
+            a_ok = s_ok = a_req = s_int = 0
+            for trial in range(TRIALS):
+                ok, reqs = _async_trial(loss, seed=1000 + trial)
+                a_ok += ok
+                a_req += reqs
+                ok, interactions = _sync_trial(loss, seed=1000 + trial)
+                s_ok += ok
+                s_int += interactions
+            results[loss] = (
+                a_ok / TRIALS, a_req / TRIALS, s_ok / TRIALS, s_int / TRIALS
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (f"{loss:.2f}",
+         f"{r[0]:.2f}", f"{r[1]:6.1f}",
+         f"{r[2]:.2f}", f"{r[3]:6.1f}")
+        for loss, r in results.items()
+    ]
+    print_table(
+        f"E4: async (consign+poll) vs sync (hold) — {TRIALS} trials, "
+        f"{JOB_DURATION_S:.0f}s job, {MAX_ATTEMPTS} attempts",
+        ["loss", "async ok", "async msgs", "sync ok", "sync restarts"],
+        rows,
+    )
+
+    # Shape: both perfect on a clean link.
+    assert results[0.0][0] == 1.0 and results[0.0][2] == 1.0
+    # Async survives everywhere tested.
+    assert all(r[0] == 1.0 for r in results.values())
+    # Sync collapses at high loss while async does not.
+    assert results[0.20][2] < 0.5
+    # Sync restart counts grow with loss; async message overhead stays modest.
+    assert results[0.20][3] > results[0.02][3]
+    assert results[0.20][1] < 60

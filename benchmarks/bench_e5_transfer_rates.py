@@ -1,0 +1,131 @@
+"""E5 — section 5.6: https NJS-to-NJS transfer is slow for huge data.
+
+Paper claim: "The file transfer between Uspaces has to be accomplished
+through NJS – NJS communication via the gateway ... As this solution has
+disadvantages with respect to transfer rates especially for huge data
+sets UNICORE is working on alternatives."
+
+Setup: move a Uspace file between two sites (a) the paper's way — https
+records through both gateways (three store-and-forward hops, record
+framing, seal/open CPU) — and (b) the direct-socket alternative.
+
+Expected shape: tiny transfers are dominated by handshake/latency on
+both paths (https relatively worst there); as size grows, https
+throughput plateaus *below* the link rate (per-record seal/open CPU plus
+store-and-forward through both gateways) while direct approaches the raw
+link bandwidth.  The relative slowdown converges to a constant factor
+> 1, so the absolute time lost to the https tunnel grows without bound
+with the data size — the paper's "especially for huge data sets".
+"""
+
+import pytest
+
+from benchmarks._util import print_table
+from repro.net import DirectChannel, Network
+from repro.security.ssl import SSLSession
+from repro.server.njs.supervisor import TransferFile
+from repro.grid import build_grid
+from repro.simkernel import Simulator
+
+SIZES = [1 << 10, 1 << 16, 1 << 20, 1 << 24, 1 << 27, 1 << 30]
+WAN_BW = 1_250_000.0  # 10 Mbit/s
+WAN_LAT = 0.015
+
+
+def _https_transfer_time(size: int) -> float:
+    """Uspace->Uspace through the real NJS route (via both gateways)."""
+    grid = build_grid(
+        {"A": ["FZJ-T3E"], "B": ["ZIB-SP2"]},
+        seed=4, wan_latency_s=WAN_LAT, wan_bandwidth_Bps=WAN_BW,
+    )
+    njs_a = grid.usites["A"].njs
+    njs_b = grid.usites["B"].njs
+    # Make a job context at B to receive the file (transfer stash works
+    # even without it, but keep it realistic).
+    payload = TransferFile(
+        corr_id=1, reply_usite="A", parent_job_id="U1@A",
+        destination_path="big.dat", content=b"",
+    )
+
+    done = {}
+
+    def sender(sim):
+        t0 = sim.now
+        reply_ev = sim.event()
+        njs_a._pending[1] = reply_ev
+        yield from njs_a._send_via_route("B", payload, size + 512)
+        yield reply_ev
+        done["t"] = sim.now - t0
+
+    grid.sim.process(sender(grid.sim))
+    grid.sim.run()
+    return done["t"]
+
+
+def _direct_transfer_time(size: int) -> float:
+    """The direct-socket alternative: one WAN hop, no framing."""
+    sim = Simulator()
+    net = Network(sim, seed=4)
+    net.add_host("a")
+    net.add_host("b")
+    net.link("a", "b", latency_s=WAN_LAT, bandwidth_Bps=WAN_BW)
+    done = {}
+
+    def sender(sim):
+        t0 = sim.now
+        channel = yield from DirectChannel.establish(sim, net, "a", "b")
+        yield channel.send("file", size, deliver=False)
+        # Acknowledge like a real file transfer would.
+        yield channel.send("ack", 64, to_server=False, deliver=False)
+        done["t"] = sim.now - t0
+
+    sim.process(sender(sim))
+    sim.run()
+    return done["t"]
+
+
+@pytest.mark.benchmark(group="E5-transfer-rates")
+def test_e5_https_vs_direct_transfer(benchmark):
+    https = {}
+    direct = {}
+
+    def run():
+        for size in SIZES:
+            https[size] = _https_transfer_time(size)
+            direct[size] = _direct_transfer_time(size)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for size in SIZES:
+        bw_h = size / https[size]
+        bw_d = size / direct[size]
+        rows.append((
+            f"{size / 1024:.0f} KiB" if size < 1 << 20 else f"{size >> 20} MiB",
+            f"{https[size]:10.2f}", f"{bw_h / 1e3:8.1f}",
+            f"{direct[size]:10.2f}", f"{bw_d / 1e3:8.1f}",
+            f"{https[size] / direct[size]:5.2f}x",
+        ))
+    print_table(
+        "E5: Uspace->Uspace transfer, https-via-gateways vs direct socket "
+        f"({WAN_BW * 8 / 1e6:.0f} Mbit/s WAN)",
+        ["size", "https (s)", "https KB/s", "direct (s)", "direct KB/s",
+         "slowdown"],
+        rows,
+    )
+
+    big = SIZES[-1]
+    # https is never faster, and the direct path approaches the link rate
+    # on huge files while https plateaus below it.
+    assert all(https[s] >= direct[s] * 0.99 for s in SIZES)
+    assert direct[big] * 1.2 > big / WAN_BW  # direct ~ link-limited
+    https_bw_big = big / https[big]
+    direct_bw_big = big / direct[big]
+    # The paper's complaint: a substantial, persistent rate disadvantage.
+    assert https_bw_big < 0.75 * direct_bw_big
+    # The absolute time lost to the tunnel grows monotonically with size.
+    gaps = [https[s] - direct[s] for s in SIZES]
+    assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+    assert gaps[-1] > 100.0  # minutes lost on a 1 GiB data set
+    # Sanity: record accounting matches the wire model.
+    assert SSLSession.wire_bytes(big) > big

@@ -1,0 +1,105 @@
+"""E6 — sections 4/5.2: certificate mapping replaces uniform uids.
+
+Paper claim: the gateway maps the user's certificate DN to the local
+user-id, which "eliminates the need to install uniform UNIX uid/gid
+pairs for UNICORE users".  The viability question: what does the mapping
+cost, and how does it scale with the user database?
+
+Expected shape: a UUDB lookup is dictionary-cheap and essentially flat
+in database size; the real per-connection cost is the SSL handshake
+(RSA operations), orders of magnitude above the lookup.  A hypothetical
+uniform-uid scheme would save only the lookup — i.e. nothing measurable.
+"""
+
+import pytest
+
+from benchmarks._util import print_table
+from repro.security import (
+    CertificateAuthority,
+    CertificateStore,
+    DistinguishedName,
+    UUDB,
+    ssl_handshake,
+)
+from repro.security.x509 import CertificateRole
+
+CA = CertificateAuthority(key_bits=384, seed=81)
+STORE = CertificateStore(trusted=[CA])
+USER_CERT, USER_KEY = CA.issue(
+    DistinguishedName(cn="Bench User", o="FZJ"), role=CertificateRole.USER
+)
+SERVER_CERT, SERVER_KEY = CA.issue(
+    DistinguishedName(cn="gw.bench"), role=CertificateRole.SERVER
+)
+
+
+def _uudb(n_users: int) -> UUDB:
+    db = UUDB("BENCH")
+    for i in range(n_users):
+        db.add_user(f"CN=User {i:06d}, O=FZJ, C=DE", login=f"u{i:06d}")
+    db.add_user(USER_CERT.subject, login="bench")
+    return db
+
+
+@pytest.mark.benchmark(group="E6-gateway-auth")
+@pytest.mark.parametrize("n_users", [100, 1_000, 10_000, 100_000])
+def test_e6_mapping_cost_vs_database_size(benchmark, n_users):
+    db = _uudb(n_users)
+    mapping = benchmark(db.map_certificate, USER_CERT)
+    assert mapping.login == "bench"
+
+
+@pytest.mark.benchmark(group="E6-gateway-auth")
+def test_e6_certificate_validation_cost(benchmark):
+    benchmark(STORE.validate, USER_CERT, 100.0)
+
+
+@pytest.mark.benchmark(group="E6-gateway-auth")
+def test_e6_full_handshake_cost(benchmark):
+    benchmark(
+        lambda: ssl_handshake(
+            client_cert=USER_CERT, client_key=USER_KEY,
+            server_cert=SERVER_CERT, server_key=SERVER_KEY,
+            client_store=STORE, server_store=STORE, now=100.0,
+        )
+    )
+
+
+@pytest.mark.benchmark(group="E6-gateway-auth")
+def test_e6_shape_report(benchmark):
+    """Mapping is O(1)-ish and negligible next to the handshake."""
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def cost(fn, reps):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        return (time.perf_counter() - t0) / reps
+
+    rows = []
+    map_costs = {}
+    for n in (100, 1_000, 10_000, 100_000):
+        db = _uudb(n)
+        map_costs[n] = cost(lambda: db.map_certificate(USER_CERT), 2000)
+        rows.append((f"UUDB lookup ({n} users)", f"{map_costs[n] * 1e6:10.2f}"))
+    handshake = cost(
+        lambda: ssl_handshake(
+            client_cert=USER_CERT, client_key=USER_KEY,
+            server_cert=SERVER_CERT, server_key=SERVER_KEY,
+            client_store=STORE, server_store=STORE, now=100.0,
+        ),
+        20,
+    )
+    rows.append(("full SSL handshake", f"{handshake * 1e6:10.2f}"))
+    rows.append(("handshake / lookup", f"{handshake / map_costs[100_000]:10.0f}x"))
+    print_table(
+        "E6: gateway authentication cost (wall-clock microseconds)",
+        ["operation", "us"],
+        rows,
+    )
+    # Flat in database size (hash lookup): within 10x across 3 decades.
+    assert map_costs[100_000] < 10 * map_costs[100] + 2e-6
+    # The handshake dwarfs the mapping — uniform uids would save nothing.
+    assert handshake > 100 * map_costs[100_000]

@@ -1,0 +1,103 @@
+"""E3 — Figure 3 + section 5.3: the AJO as the wire unit.
+
+Paper artifact: the AJO class hierarchy and its role as "the
+transferable unit between the UNICORE components".
+
+Expected shape: serialize/deserialize cost is linear in the number of
+actions; nesting depth adds negligible cost at constant action count
+(recursion is cheap relative to the payload).
+"""
+
+import pytest
+
+from benchmarks._util import print_table
+from repro.ajo import (
+    AbstractJobObject,
+    ExecuteScriptTask,
+    decode_ajo,
+    encode_ajo,
+)
+
+
+def flat_job(n_tasks: int) -> AbstractJobObject:
+    job = AbstractJobObject("flat", vsite="V", usite="U", user_dn="CN=bench")
+    prev = None
+    for i in range(n_tasks):
+        task = job.add(
+            ExecuteScriptTask(f"t{i}", script=f"#!/bin/sh\nstep {i}\n")
+        )
+        if prev is not None:
+            job.add_dependency(prev, task, files=[f"f{i}.dat"])
+        prev = task
+    return job
+
+
+def deep_job(depth: int, tasks_per_level: int) -> AbstractJobObject:
+    root = AbstractJobObject("deep", vsite="V", usite="U", user_dn="CN=bench")
+    group = root
+    for level in range(depth):
+        for i in range(tasks_per_level):
+            group.add(
+                ExecuteScriptTask(f"t{level}.{i}", script="#!/bin/sh\nx\n")
+            )
+        sub = AbstractJobObject(f"level{level + 1}", vsite="V", usite="U")
+        group.add(sub)
+        group = sub
+    return root
+
+
+@pytest.mark.benchmark(group="E3-ajo-codec")
+@pytest.mark.parametrize("n_tasks", [10, 100, 1000])
+def test_e3_encode_scales_linearly(benchmark, n_tasks):
+    job = flat_job(n_tasks)
+    encoded = benchmark(encode_ajo, job)
+    assert decode_ajo(encoded) == job
+
+
+@pytest.mark.benchmark(group="E3-ajo-codec")
+@pytest.mark.parametrize("n_tasks", [10, 100, 1000])
+def test_e3_decode_scales_linearly(benchmark, n_tasks):
+    data = encode_ajo(flat_job(n_tasks))
+    decoded = benchmark(decode_ajo, data)
+    assert decoded.total_actions() == n_tasks + 1
+
+
+@pytest.mark.benchmark(group="E3-ajo-codec-depth")
+@pytest.mark.parametrize("depth", [1, 4, 16])
+def test_e3_depth_is_cheap(benchmark, depth):
+    # Constant ~64 actions regardless of nesting.
+    tasks_per_level = 64 // depth
+    job = deep_job(depth, tasks_per_level)
+    encoded = benchmark(encode_ajo, job)
+    assert decode_ajo(encoded).depth() == depth + 1
+
+
+@pytest.mark.benchmark(group="E3-ajo-codec")
+def test_e3_shape_report(benchmark):
+    """Summary: bytes and per-action cost scale linearly."""
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    costs = {}
+    for n in (10, 100, 1000):
+        job = flat_job(n)
+        t0 = time.perf_counter()
+        encoded = encode_ajo(job)
+        t_enc = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        decode_ajo(encoded)
+        t_dec = time.perf_counter() - t0
+        costs[n] = (t_enc + t_dec) / n
+        rows.append(
+            (n, len(encoded), f"{len(encoded) / n:8.1f}",
+             f"{1e6 * costs[n]:8.2f}")
+        )
+    print_table(
+        "E3: AJO codec scaling",
+        ["tasks", "wire bytes", "bytes/action", "codec us/action"],
+        rows,
+    )
+    # Per-action cost roughly flat across two decades = linear scaling.
+    assert costs[1000] < 10 * costs[10]

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""DWD-style operational forecast: script tasks, imports, exports.
+
+The Deutscher Wetterdienst was one of the six production UNICORE sites
+(section 5.7).  This example models an operational weather run on its
+NEC SX-4 using *script tasks* — "to include existing batch applications"
+— since operational suites are exactly such pre-existing batch scripts:
+
+    observations import -> assimilation -> global model -> local model
+    -> products export (two in parallel)
+
+It also shows failure handling: a second cycle with a missing
+observations file fails the import, and everything downstream is
+reported NOT_ATTEMPTED (grey icons) rather than running on stale data.
+
+Run:  python examples/weather_forecast.py
+"""
+
+from repro.client import JobMonitorController, JobPreparationAgent
+from repro.grid import build_grid
+from repro.resources import ResourceRequest
+
+
+def build_cycle(jpa, name: str, obs_path: str):
+    job = jpa.new_job(name, vsite="DWD-SX4", account_group="ops")
+    obs = job.import_from_xspace(obs_path, "obs.bufr")
+    assim = job.script_task(
+        "assimilation",
+        script="#!/bin/sh\n./3dvar obs.bufr > analysis.grb\n",
+        resources=ResourceRequest(cpus=8, time_s=3600, memory_mb=16384),
+        simulated_runtime_s=2400.0,
+    )
+    global_m = job.script_task(
+        "global-model",
+        script="#!/bin/sh\n./gme analysis.grb > global.grb\n",
+        resources=ResourceRequest(cpus=16, time_s=7200, memory_mb=32768),
+        simulated_runtime_s=5000.0,
+    )
+    local_m = job.script_task(
+        "local-model",
+        script="#!/bin/sh\n./lm global.grb > local.grb\n",
+        resources=ResourceRequest(cpus=8, time_s=3600, memory_mb=16384),
+        simulated_runtime_s=2000.0,
+    )
+    exp_global = job.export_to_xspace("global.grb", f"/products/{name}/global.grb")
+    exp_local = job.export_to_xspace("local.grb", f"/products/{name}/local.grb")
+    job.depends(obs, assim, files=["obs.bufr"])
+    job.depends(assim, global_m, files=["analysis.grb"])
+    job.depends(global_m, local_m, files=["global.grb"])
+    job.depends(global_m, exp_global, files=["global.grb"])
+    job.depends(local_m, exp_local, files=["local.grb"])
+    return job
+
+
+def main() -> None:
+    grid = build_grid({"DWD": ["DWD-SX4"]}, seed=7)
+    forecaster = grid.add_user(
+        "Op Forecaster", organization="DWD", logins={"DWD": "opfc"}
+    )
+    session = grid.connect_user(forecaster, "DWD")
+    jpa = JobPreparationAgent(session)
+    jmc = JobMonitorController(session)
+
+    # This morning's observations are on the DWD Xspace; tomorrow's are not.
+    grid.usites["DWD"].xspace.fs.write("/obs/00z.bufr", b"BUFR" * 50_000)
+
+    good = build_cycle(jpa, "fc-00z", "/obs/00z.bufr")
+    bad = build_cycle(jpa, "fc-12z", "/obs/12z.bufr")  # missing!
+
+    def scenario(sim):
+        good_id = yield from jpa.submit(good)
+        bad_id = yield from jpa.submit(bad)
+        good_final = yield from jmc.wait_for_completion(good_id)
+        bad_final = yield from jmc.wait_for_completion(bad_id)
+        good_tree = yield from jmc.status(good_id)
+        bad_tree = yield from jmc.status(bad_id)
+        return good_final, bad_final, good_tree, bad_tree
+
+    process = grid.sim.process(scenario(grid.sim))
+    good_final, bad_final, good_tree, bad_tree = grid.sim.run(until=process)
+
+    print(f"00z cycle: {good_final['status']}")
+    print(JobMonitorController.render_tree(good_tree))
+    xfs = grid.usites["DWD"].xspace.fs
+    print("\nproducts on the DWD Xspace:")
+    for path in xfs.walk_files("/products"):
+        print(f"  {path}  ({xfs.size(path)} bytes)")
+
+    print(f"\n12z cycle: {bad_final['status']}  (observations were missing)")
+    print(JobMonitorController.render_tree(bad_tree))
+
+    batch = grid.usites["DWD"].vsites["DWD-SX4"].batch
+    print(f"\nSX-4 utilization over the window: {batch.utilization():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""unicore-repro: the UNICORE architecture (Romberg, HPDC 1999), rebuilt.
+
+A from-scratch, fully simulated reproduction of UNICORE's three-tier
+grid middleware: the abstract job object and its protocol, the
+X.509/https security architecture, gateway, network job supervisor,
+Uspace/Xspace data model, and the vendor batch systems of the six German
+production sites.
+
+Typical entry points:
+
+>>> from repro.grid import build_grid
+>>> from repro.client import JobPreparationAgent, JobMonitorController
+
+Subpackages (bottom-up):
+
+- :mod:`repro.simkernel` — discrete-event engine;
+- :mod:`repro.net` — simulated WAN and https channels;
+- :mod:`repro.security` — PKI, SSL handshake, signed applets, UUDB;
+- :mod:`repro.ajo` — the abstract job object (paper Figure 3);
+- :mod:`repro.resources` — the resource model and ASN.1 resource pages;
+- :mod:`repro.vfs` — Workstation / Xspace / Uspace;
+- :mod:`repro.batch` — vendor batch systems (NQS, LoadLeveler, VPP, Codine);
+- :mod:`repro.protocol` — the asynchronous consign-and-poll protocol;
+- :mod:`repro.server` — gateway, Vsites, translation tables, the NJS;
+- :mod:`repro.client` — browser, JPA, JMC;
+- :mod:`repro.grid` — multi-site assembly and workloads;
+- :mod:`repro.ext` — the section-6 outlook: broker, accounting,
+  application interfaces, co-allocation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ajo",
+    "batch",
+    "client",
+    "ext",
+    "grid",
+    "net",
+    "protocol",
+    "resources",
+    "security",
+    "server",
+    "simkernel",
+    "vfs",
+]

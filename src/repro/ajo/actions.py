@@ -1,0 +1,63 @@
+"""The AbstractAction base class and action identity.
+
+Every node of an AJO — job groups, tasks, services — is an
+:class:`AbstractAction` with a unique identifier and a human-readable
+name.  Identifiers are generated from a process-local counter; they only
+need to be unique within one client's AJO stream, and tests can reset the
+counter for full determinism.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["AbstractAction", "reset_action_ids"]
+
+_counter = itertools.count(1)
+
+
+def _next_id(prefix: str) -> str:
+    return f"{prefix}{next(_counter):06d}"
+
+
+def reset_action_ids() -> None:
+    """Reset the id counter (tests and deterministic benchmarks only)."""
+    global _counter
+    _counter = itertools.count(1)
+
+
+class AbstractAction:
+    """Base of the Figure 3 hierarchy: something the NJS must perform.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label shown in the JMC job tree.
+    action_id:
+        Normally auto-assigned; deserialization passes the original.
+    """
+
+    #: Short type tag used in serialization and id prefixes; subclasses set it.
+    type_tag = "action"
+
+    def __init__(self, name: str, action_id: str | None = None) -> None:
+        if not name:
+            raise ValueError(f"{type(self).__name__} requires a non-empty name")
+        self.name = name
+        self.id = action_id if action_id is not None else _next_id(self.type_tag[:3])
+
+    # -- serialization hooks (extended by subclasses) -------------------------
+    def to_payload(self) -> dict:
+        """Subclass fields as a JSON-able dict (without type/envelope)."""
+        return {"id": self.id, "name": self.name}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.id} {self.name!r}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbstractAction):
+            return NotImplemented
+        return type(self) is type(other) and self.to_payload() == other.to_payload()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.id))

@@ -1,0 +1,24 @@
+"""Exceptions for the AJO layer."""
+
+__all__ = [
+    "AJOError",
+    "ValidationError",
+    "DependencyCycleError",
+    "SerializationError",
+]
+
+
+class AJOError(Exception):
+    """Base class for AJO-layer errors."""
+
+
+class ValidationError(AJOError):
+    """The AJO is structurally invalid (ids, destinations, references)."""
+
+
+class DependencyCycleError(ValidationError):
+    """The job graph is not acyclic."""
+
+
+class SerializationError(AJOError):
+    """The AJO/Outcome wire encoding is malformed or unsupported."""

@@ -1,0 +1,261 @@
+"""Outcomes: status plus results of executed abstract actions.
+
+Paper section 5.3: "A Java class Outcome is defined to contain the status
+of an abstract action and the results of its execution.  Outcome contains
+a subclass for each subclass of AbstractAction which are associated to
+give the results of an abstract action."
+
+:func:`outcome_class_for` implements that association: it maps an action
+type to its outcome type.  :class:`AJOOutcome` aggregates the outcomes of
+a whole job group and rolls up a combined status for the JMC display.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.ajo.actions import AbstractAction
+from repro.ajo.job import AbstractJobObject
+from repro.ajo.services import AbstractService
+from repro.ajo.status import ActionStatus
+from repro.ajo.tasks import AbstractTaskObject, FileTask
+
+__all__ = [
+    "Outcome",
+    "TaskOutcome",
+    "FileOutcome",
+    "ServiceOutcome",
+    "AJOOutcome",
+    "outcome_class_for",
+]
+
+
+@dataclass(slots=True)
+class Outcome:
+    """Status and results of one abstract action."""
+
+    action_id: str
+    status: ActionStatus = ActionStatus.PENDING
+    #: Human-readable explanation, mostly for failures.
+    reason: str = ""
+    #: Simulated timestamps (NaN until set).
+    submitted_at: float = float("nan")
+    completed_at: float = float("nan")
+
+    kind: typing.ClassVar[str] = "outcome"
+
+    def mark(self, status: ActionStatus, reason: str = "") -> None:
+        """Transition to ``status``; terminal states are sticky."""
+        if self.status.is_terminal:
+            raise ValueError(
+                f"outcome of {self.action_id} already terminal "
+                f"({self.status.value}); cannot become {status.value}"
+            )
+        self.status = status
+        if reason:
+            self.reason = reason
+
+    def to_payload(self) -> dict:
+        return {
+            "action_id": self.action_id,
+            "status": self.status.value,
+            "reason": self.reason,
+            "submitted_at": self.submitted_at,
+            "completed_at": self.completed_at,
+        }
+
+    @classmethod
+    def _apply_payload(cls, out: "Outcome", payload: dict) -> None:
+        out.status = ActionStatus(payload["status"])
+        out.reason = payload["reason"]
+        out.submitted_at = payload["submitted_at"]
+        out.completed_at = payload["completed_at"]
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Outcome":
+        out = cls(action_id=payload["action_id"])
+        cls._apply_payload(out, payload)
+        return out
+
+
+@dataclass(slots=True)
+class TaskOutcome(Outcome):
+    """Outcome of an execute task: exit code plus collected output.
+
+    The NJS "collects the standard output and error files from the batch
+    jobs" (section 5.5); they are carried here for the JMC to list/save.
+    """
+
+    exit_code: int | None = None
+    stdout: str = ""
+    stderr: str = ""
+
+    kind: typing.ClassVar[str] = "task"
+
+    def to_payload(self) -> dict:
+        payload = Outcome.to_payload(self)
+        payload.update(exit_code=self.exit_code, stdout=self.stdout, stderr=self.stderr)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TaskOutcome":
+        out = cls(action_id=payload["action_id"])
+        cls._apply_payload(out, payload)
+        out.exit_code = payload["exit_code"]
+        out.stdout = payload["stdout"]
+        out.stderr = payload["stderr"]
+        return out
+
+
+@dataclass(slots=True)
+class FileOutcome(Outcome):
+    """Outcome of a file task: how many bytes moved, where."""
+
+    bytes_moved: int = 0
+    effective_bandwidth: float = 0.0
+
+    kind: typing.ClassVar[str] = "file"
+
+    def to_payload(self) -> dict:
+        payload = Outcome.to_payload(self)
+        payload.update(
+            bytes_moved=self.bytes_moved,
+            effective_bandwidth=self.effective_bandwidth,
+        )
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FileOutcome":
+        out = cls(action_id=payload["action_id"])
+        cls._apply_payload(out, payload)
+        out.bytes_moved = payload["bytes_moved"]
+        out.effective_bandwidth = payload["effective_bandwidth"]
+        return out
+
+
+@dataclass(slots=True)
+class ServiceOutcome(Outcome):
+    """Outcome of a monitoring/control service: the answer payload."""
+
+    #: JSON-able answer (job listing, status tree, acknowledgement...).
+    answer: object = None
+
+    kind: typing.ClassVar[str] = "service"
+
+    def to_payload(self) -> dict:
+        payload = Outcome.to_payload(self)
+        payload["answer"] = self.answer
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServiceOutcome":
+        out = cls(action_id=payload["action_id"])
+        cls._apply_payload(out, payload)
+        out.answer = payload["answer"]
+        return out
+
+
+@dataclass(slots=True)
+class AJOOutcome(Outcome):
+    """Aggregated outcome of a job group: children keyed by action id."""
+
+    children: dict[str, Outcome] = field(default_factory=dict)
+
+    kind: typing.ClassVar[str] = "ajo"
+
+    def add_child(self, outcome: Outcome) -> None:
+        self.children[outcome.action_id] = outcome
+
+    def child(self, action_id: str) -> Outcome:
+        return self.children[action_id]
+
+    def find(self, action_id: str) -> Outcome:
+        """Locate an outcome anywhere in the tree (self included).
+
+        Raises ``KeyError`` with the searched id if absent.
+        """
+        if self.action_id == action_id:
+            return self
+        for child in self.children.values():
+            if child.action_id == action_id:
+                return child
+            if isinstance(child, AJOOutcome):
+                try:
+                    return child.find(action_id)
+                except KeyError:
+                    continue
+        raise KeyError(action_id)
+
+    def rollup_status(self) -> ActionStatus:
+        """Combined status for the JMC's job-group icon.
+
+        A group reports a *terminal* verdict only once every child is
+        terminal — a failure in one branch does not end a job whose other
+        branches are still running (their results are still coming).
+        While in flight: RUNNING if anything runs, else QUEUED if
+        anything is queued, else PENDING.  Once all children are
+        terminal: FAILED beats KILLED beats all-NOT_ATTEMPTED beats
+        SUCCESSFUL.  A group whose own status is already FAILED/KILLED
+        (e.g. rejected wholesale by a remote NJS) reports that regardless
+        of its never-started children.
+        """
+        if self.status in (ActionStatus.FAILED, ActionStatus.KILLED):
+            return self.status
+        statuses = {c.status for c in self.children.values()}
+        if not statuses:
+            return self.status
+        if any(not s.is_terminal for s in statuses):
+            if ActionStatus.RUNNING in statuses:
+                return ActionStatus.RUNNING
+            if ActionStatus.QUEUED in statuses:
+                return ActionStatus.QUEUED
+            return ActionStatus.PENDING
+        if ActionStatus.FAILED in statuses:
+            return ActionStatus.FAILED
+        if ActionStatus.KILLED in statuses:
+            return ActionStatus.KILLED
+        if statuses == {ActionStatus.NOT_ATTEMPTED}:
+            return ActionStatus.NOT_ATTEMPTED
+        return ActionStatus.SUCCESSFUL
+
+    def to_payload(self) -> dict:
+        payload = Outcome.to_payload(self)
+        payload["children"] = {
+            cid: {"kind": child.kind, "data": child.to_payload()}
+            for cid, child in sorted(self.children.items())
+        }
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AJOOutcome":
+        out = cls(action_id=payload["action_id"])
+        cls._apply_payload(out, payload)
+        for cid, wrapped in payload["children"].items():
+            child_cls = _OUTCOME_KINDS[wrapped["kind"]]
+            out.children[cid] = child_cls.from_payload(wrapped["data"])
+        return out
+
+
+_OUTCOME_KINDS: dict[str, type[Outcome]] = {
+    cls.kind: cls
+    for cls in (Outcome, TaskOutcome, FileOutcome, ServiceOutcome, AJOOutcome)
+}
+
+
+def outcome_class_for(action: AbstractAction) -> type[Outcome]:
+    """The Outcome subclass associated with ``action``'s type (section 5.3)."""
+    if isinstance(action, AbstractJobObject):
+        return AJOOutcome
+    if isinstance(action, FileTask):
+        return FileOutcome
+    if isinstance(action, AbstractTaskObject):
+        return TaskOutcome
+    if isinstance(action, AbstractService):
+        return ServiceOutcome
+    return Outcome
+
+
+def new_outcome(action: AbstractAction) -> Outcome:
+    """A fresh PENDING outcome of the right subclass for ``action``."""
+    return outcome_class_for(action)(action_id=action.id)

@@ -1,0 +1,207 @@
+"""The AJO wire codec.
+
+The paper serializes AJOs with Java object serialization; here the
+"transferable unit between the UNICORE components" (section 4.1) is a
+versioned, type-tagged JSON tree.  The codec is total over the Figure 3
+hierarchy: every action class registers its type tag, and decoding
+reconstructs the exact object graph (children, dependencies, resources).
+
+Encoded form::
+
+    {"unicore_ajo": 1,              # envelope version
+     "type": "ajo",                 # registry tag
+     "data": {...payload...,
+              "children": [<encoded child>...],
+              "dependencies": [{"pred": ..., "succ": ..., "files": [...]}]}}
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.ajo.actions import AbstractAction
+from repro.ajo.errors import SerializationError
+from repro.ajo.job import AbstractJobObject
+from repro.ajo.outcome import Outcome, _OUTCOME_KINDS
+from repro.ajo.services import ControlService, ListService, QueryService
+from repro.ajo.tasks import (
+    CompileTask,
+    ExecuteScriptTask,
+    ExportTask,
+    ImportTask,
+    LinkTask,
+    TransferTask,
+    UserTask,
+)
+from repro.resources.model import ResourceRequest
+
+__all__ = [
+    "encode_ajo",
+    "decode_ajo",
+    "encode_outcome",
+    "decode_outcome",
+    "encode_service",
+    "decode_service",
+    "ENVELOPE_VERSION",
+]
+
+ENVELOPE_VERSION = 1
+
+# ------------------------------------------------------------------ registry
+_REGISTRY: dict[str, type[AbstractAction]] = {
+    cls.type_tag: cls
+    for cls in (
+        AbstractJobObject,
+        UserTask,
+        ExecuteScriptTask,
+        CompileTask,
+        LinkTask,
+        ImportTask,
+        ExportTask,
+        TransferTask,
+        ControlService,
+        ListService,
+        QueryService,
+    )
+}
+
+
+def _encode_action(action: AbstractAction) -> dict:
+    tag = action.type_tag
+    if tag not in _REGISTRY or type(action) is not _REGISTRY[tag]:
+        raise SerializationError(
+            f"{type(action).__name__} is not a concrete wire type; only "
+            f"{sorted(_REGISTRY)} cross the wire"
+        )
+    data = action.to_payload()
+    if isinstance(action, AbstractJobObject):
+        data["children"] = [_encode_action(c) for c in action.children]
+        data["dependencies"] = [
+            {"pred": d.predecessor_id, "succ": d.successor_id, "files": list(d.files)}
+            for d in action.dependencies
+        ]
+    return {"type": tag, "data": data}
+
+
+# Constructor adapters: payload dict -> instance.  Resources re-hydrate via
+# ResourceRequest.from_dict; extra payload keys are the constructor kwargs.
+def _decode_action(node: dict) -> AbstractAction:
+    try:
+        tag = node["type"]
+        data = dict(node["data"])
+    except (TypeError, KeyError) as err:
+        raise SerializationError(f"malformed action node: {err}") from err
+    cls = _REGISTRY.get(tag)
+    if cls is None:
+        raise SerializationError(f"unknown action type tag {tag!r}")
+
+    try:
+        action_id = data.pop("id")
+        name = data.pop("name")
+    except KeyError as err:
+        raise SerializationError(f"action node missing field {err}") from err
+    children = data.pop("children", None)
+    dependencies = data.pop("dependencies", None)
+    resources = data.pop("resources", None)
+    environment = data.pop("environment", None)
+
+    kwargs: dict = {"name": name, "action_id": action_id}
+    if resources is not None:
+        kwargs["resources"] = ResourceRequest.from_dict(resources)
+    if environment is not None:
+        kwargs["environment"] = environment
+    kwargs.update(data)
+
+    try:
+        action = cls(**kwargs)
+    except TypeError as err:
+        raise SerializationError(f"cannot reconstruct {tag}: {err}") from err
+
+    if isinstance(action, AbstractJobObject):
+        for child_node in children or []:
+            action.add(_decode_action(child_node))
+        for dep in dependencies or []:
+            action.add_dependency(dep["pred"], dep["succ"], files=dep["files"])
+    return action
+
+
+# ------------------------------------------------------------------- public
+def encode_ajo(job: AbstractJobObject) -> bytes:
+    """Serialize a full AJO tree to wire bytes."""
+    if not isinstance(job, AbstractJobObject):
+        raise SerializationError(
+            f"top-level wire unit must be an AbstractJobObject, got "
+            f"{type(job).__name__}"
+        )
+    envelope = {"unicore_ajo": ENVELOPE_VERSION, **_encode_action(job)}
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_ajo(data: bytes) -> AbstractJobObject:
+    """Reconstruct the AJO tree encoded by :func:`encode_ajo`."""
+    try:
+        envelope = json.loads(data)
+    except (ValueError, UnicodeDecodeError) as err:
+        raise SerializationError(f"not a valid AJO encoding: {err}") from err
+    if not isinstance(envelope, dict) or envelope.get("unicore_ajo") != ENVELOPE_VERSION:
+        raise SerializationError(
+            f"unsupported AJO envelope (need version {ENVELOPE_VERSION})"
+        )
+    action = _decode_action(envelope)
+    if not isinstance(action, AbstractJobObject):
+        raise SerializationError("decoded wire unit is not a job object")
+    return action
+
+
+def encode_service(service: AbstractAction) -> bytes:
+    """Serialize a standalone service request (Control/List/Query)."""
+    envelope = {"unicore_service": ENVELOPE_VERSION, **_encode_action(service)}
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_service(data: bytes) -> AbstractAction:
+    """Reconstruct a service encoded by :func:`encode_service`."""
+    try:
+        envelope = json.loads(data)
+    except (ValueError, UnicodeDecodeError) as err:
+        raise SerializationError(f"not a valid service encoding: {err}") from err
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("unicore_service") != ENVELOPE_VERSION
+    ):
+        raise SerializationError(
+            f"unsupported service envelope (need version {ENVELOPE_VERSION})"
+        )
+    return _decode_action(envelope)
+
+
+def encode_outcome(outcome: Outcome) -> bytes:
+    """Serialize an outcome (tree) to wire bytes."""
+    envelope = {
+        "unicore_outcome": ENVELOPE_VERSION,
+        "kind": outcome.kind,
+        "data": outcome.to_payload(),
+    }
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_outcome(data: bytes) -> Outcome:
+    """Reconstruct an outcome encoded by :func:`encode_outcome`."""
+    try:
+        envelope = json.loads(data)
+    except (ValueError, UnicodeDecodeError) as err:
+        raise SerializationError(f"not a valid outcome encoding: {err}") from err
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("unicore_outcome") != ENVELOPE_VERSION
+    ):
+        raise SerializationError(
+            f"unsupported outcome envelope (need version {ENVELOPE_VERSION})"
+        )
+    cls = _OUTCOME_KINDS.get(envelope.get("kind"))
+    if cls is None:
+        raise SerializationError(f"unknown outcome kind {envelope.get('kind')!r}")
+    try:
+        return cls.from_payload(envelope["data"])
+    except (KeyError, TypeError, ValueError) as err:
+        raise SerializationError(f"cannot reconstruct outcome: {err}") from err

@@ -1,0 +1,99 @@
+"""Abstract services: job monitoring and control requests.
+
+Figure 3's right branch: ControlService, ListService, QueryService — "the
+abstract service for job monitoring" (section 5.3).  Services are
+non-recursive actions the JMC sends to an NJS about previously consigned
+jobs.
+"""
+
+from __future__ import annotations
+
+from repro.ajo.actions import AbstractAction
+from repro.ajo.errors import ValidationError
+
+__all__ = ["AbstractService", "ControlService", "ControlVerb", "ListService", "QueryService"]
+
+
+class AbstractService(AbstractAction):
+    """Base class for monitoring/control services."""
+
+    type_tag = "service"
+
+
+class ControlVerb:
+    """What a ControlService asks the NJS to do to a job."""
+
+    CANCEL = "cancel"
+    HOLD = "hold"
+    RESUME = "resume"
+
+    ALL = (CANCEL, HOLD, RESUME)
+
+
+class ControlService(AbstractService):
+    """Control a consigned job (cancel / hold / resume)."""
+
+    type_tag = "control"
+
+    def __init__(
+        self,
+        name: str,
+        target_job_id: str,
+        verb: str = ControlVerb.CANCEL,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(name, action_id=action_id)
+        if not target_job_id:
+            raise ValidationError("ControlService requires a target job id")
+        if verb not in ControlVerb.ALL:
+            raise ValidationError(f"unknown control verb {verb!r}")
+        self.target_job_id = target_job_id
+        self.verb = verb
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["target_job_id"] = self.target_job_id
+        payload["verb"] = self.verb
+        return payload
+
+
+class ListService(AbstractService):
+    """List the requesting user's UNICORE jobs known to this NJS."""
+
+    type_tag = "list"
+
+
+class QueryService(AbstractService):
+    """Query status and outcomes of one consigned job.
+
+    ``detail`` selects the JMC's "chosen level of detail" (section 5.7):
+    job groups only, or down to individual tasks.
+    """
+
+    type_tag = "query"
+
+    DETAIL_JOB = "job"
+    DETAIL_GROUPS = "groups"
+    DETAIL_TASKS = "tasks"
+    _DETAILS = (DETAIL_JOB, DETAIL_GROUPS, DETAIL_TASKS)
+
+    def __init__(
+        self,
+        name: str,
+        target_job_id: str,
+        detail: str = DETAIL_TASKS,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(name, action_id=action_id)
+        if not target_job_id:
+            raise ValidationError("QueryService requires a target job id")
+        if detail not in self._DETAILS:
+            raise ValidationError(f"unknown detail level {detail!r}")
+        self.target_job_id = target_job_id
+        self.detail = detail
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["target_job_id"] = self.target_job_id
+        payload["detail"] = self.detail
+        return payload

@@ -1,0 +1,66 @@
+"""Action status values.
+
+The JMC displays job status "in a seamless way" with colored icons (paper
+section 5.7) — the same status vocabulary regardless of destination
+system.  These are those uniform states; each vendor batch dialect maps
+its local states onto them (the reverse of incarnation).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ActionStatus"]
+
+
+class ActionStatus(enum.Enum):
+    """Uniform lifecycle states of an abstract action."""
+
+    #: Consigned but predecessors not yet complete.
+    PENDING = "pending"
+    #: Delivered to the destination batch system, waiting in its queue.
+    QUEUED = "queued"
+    #: Executing on the destination system.
+    RUNNING = "running"
+    #: Completed with exit status zero.
+    SUCCESSFUL = "successful"
+    #: Completed with a failure (non-zero exit, resource rejection, ...).
+    FAILED = "failed"
+    #: Terminated on user request via a ControlService.
+    KILLED = "killed"
+    #: Never ran because a predecessor failed or was killed.
+    NOT_ATTEMPTED = "not_attempted"
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the action can no longer change state."""
+        return self in _TERMINAL
+
+    @property
+    def is_success(self) -> bool:
+        return self is ActionStatus.SUCCESSFUL
+
+    @property
+    def display_color(self) -> str:
+        """The JMC icon color for this state (section 5.7)."""
+        return _COLORS[self]
+
+
+_TERMINAL = frozenset(
+    {
+        ActionStatus.SUCCESSFUL,
+        ActionStatus.FAILED,
+        ActionStatus.KILLED,
+        ActionStatus.NOT_ATTEMPTED,
+    }
+)
+
+_COLORS = {
+    ActionStatus.PENDING: "grey",
+    ActionStatus.QUEUED: "yellow",
+    ActionStatus.RUNNING: "blue",
+    ActionStatus.SUCCESSFUL: "green",
+    ActionStatus.FAILED: "red",
+    ActionStatus.KILLED: "black",
+    ActionStatus.NOT_ATTEMPTED: "white",
+}

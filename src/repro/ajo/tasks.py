@@ -1,0 +1,371 @@
+"""Abstract task objects: the units incarnated into real batch jobs.
+
+Paper section 3: "A task is the unit which boils down to a batch job for
+the destination system."  Section 5.4: "An abstract task object (ATO) as
+the entity to be translated into a real batch job for a destination
+system contains the information about the required resources for the
+job."
+
+Two families (Figure 3):
+
+* :class:`ExecuteTask` — computational work: user binaries
+  (:class:`UserTask`), existing batch scripts (:class:`ExecuteScriptTask`,
+  "to include existing batch applications"), and the compile-link-execute
+  support for new applications (:class:`CompileTask`, :class:`LinkTask`;
+  "at this point in time the compile is implemented for F90").
+* :class:`FileTask` — data movement between the UNICORE data spaces:
+  imports into Uspace, exports to Xspace, and Uspace-to-Uspace transfers
+  between sites (section 5.6).
+"""
+
+from __future__ import annotations
+
+from repro.ajo.actions import AbstractAction
+from repro.ajo.errors import ValidationError
+from repro.resources.model import ResourceRequest
+
+__all__ = [
+    "AbstractTaskObject",
+    "ExecuteTask",
+    "UserTask",
+    "ExecuteScriptTask",
+    "CompileTask",
+    "LinkTask",
+    "FileTask",
+    "ImportTask",
+    "ExportTask",
+    "TransferTask",
+    "FileSpace",
+]
+
+
+class FileSpace:
+    """The three data locations of the UNICORE data model (section 4)."""
+
+    #: The user's local machine; its files travel inside the AJO.
+    WORKSTATION = "workstation"
+    #: Site filesystems outside UNICORE control.
+    XSPACE = "xspace"
+    #: The UNICORE job space (the job directory the NJS creates).
+    USPACE = "uspace"
+
+    ALL = (WORKSTATION, XSPACE, USPACE)
+
+
+class AbstractTaskObject(AbstractAction):
+    """Base class of all tasks; carries the resource requirements."""
+
+    type_tag = "task"
+
+    def __init__(
+        self,
+        name: str,
+        resources: ResourceRequest | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(name, action_id=action_id)
+        self.resources = resources or ResourceRequest()
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["resources"] = self.resources.as_dict()
+        return payload
+
+    def required_software(self) -> list[tuple[str, str]]:
+        """``(kind, name)`` software requirements; subclasses extend."""
+        return []
+
+
+# --------------------------------------------------------------- execution
+class ExecuteTask(AbstractTaskObject):
+    """Base for computational tasks.
+
+    Attributes
+    ----------
+    environment:
+        Abstract environment variables; translation tables may rename them.
+    simulated_runtime_s:
+        Ground-truth wallclock of the task on the baseline (T3E)
+        architecture — what the workload "actually does".  ``None`` means
+        the task runs for half its requested time limit.  Incarnation
+        scales it by the destination machine's speed factor.
+    """
+
+    type_tag = "execute"
+
+    def __init__(
+        self,
+        name: str,
+        resources: ResourceRequest | None = None,
+        environment: dict[str, str] | None = None,
+        simulated_runtime_s: float | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(name, resources=resources, action_id=action_id)
+        self.environment = dict(environment or {})
+        if simulated_runtime_s is not None and simulated_runtime_s < 0:
+            raise ValidationError("simulated_runtime_s must be non-negative")
+        self.simulated_runtime_s = simulated_runtime_s
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["environment"] = dict(sorted(self.environment.items()))
+        payload["simulated_runtime_s"] = self.simulated_runtime_s
+        return payload
+
+
+class UserTask(ExecuteTask):
+    """Run a user-supplied executable already present in the Uspace."""
+
+    type_tag = "user"
+
+    def __init__(
+        self,
+        name: str,
+        executable: str,
+        arguments: list[str] | None = None,
+        resources: ResourceRequest | None = None,
+        environment: dict[str, str] | None = None,
+        simulated_runtime_s: float | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            name, resources=resources, environment=environment,
+            simulated_runtime_s=simulated_runtime_s, action_id=action_id,
+        )
+        if not executable:
+            raise ValidationError("UserTask requires an executable path")
+        self.executable = executable
+        self.arguments = list(arguments or [])
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["executable"] = self.executable
+        payload["arguments"] = list(self.arguments)
+        return payload
+
+
+class ExecuteScriptTask(ExecuteTask):
+    """Run an existing batch script verbatim (legacy applications)."""
+
+    type_tag = "script"
+
+    def __init__(
+        self,
+        name: str,
+        script: str,
+        interpreter: str = "sh",
+        resources: ResourceRequest | None = None,
+        environment: dict[str, str] | None = None,
+        simulated_runtime_s: float | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            name, resources=resources, environment=environment,
+            simulated_runtime_s=simulated_runtime_s, action_id=action_id,
+        )
+        if not script:
+            raise ValidationError("ExecuteScriptTask requires script text")
+        self.script = script
+        self.interpreter = interpreter
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["script"] = self.script
+        payload["interpreter"] = self.interpreter
+        return payload
+
+
+class CompileTask(ExecuteTask):
+    """Compile sources with an abstract compiler name (F90 in the prototype)."""
+
+    type_tag = "compile"
+
+    def __init__(
+        self,
+        name: str,
+        sources: list[str],
+        compiler: str = "f90",
+        options: list[str] | None = None,
+        resources: ResourceRequest | None = None,
+        environment: dict[str, str] | None = None,
+        simulated_runtime_s: float | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            name, resources=resources, environment=environment,
+            simulated_runtime_s=simulated_runtime_s, action_id=action_id,
+        )
+        if not sources:
+            raise ValidationError("CompileTask requires at least one source file")
+        self.sources = list(sources)
+        self.compiler = compiler
+        self.options = list(options or [])
+
+    def object_files(self) -> list[str]:
+        """The object files this compile step produces in the Uspace."""
+        return [_replace_suffix(src, ".o") for src in self.sources]
+
+    def required_software(self) -> list[tuple[str, str]]:
+        return [("compiler", self.compiler)]
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload.update(
+            sources=list(self.sources),
+            compiler=self.compiler,
+            options=list(self.options),
+        )
+        return payload
+
+
+class LinkTask(ExecuteTask):
+    """Link object files into an executable."""
+
+    type_tag = "link"
+
+    def __init__(
+        self,
+        name: str,
+        objects: list[str],
+        output: str,
+        libraries: list[str] | None = None,
+        linker: str = "f90",
+        resources: ResourceRequest | None = None,
+        environment: dict[str, str] | None = None,
+        simulated_runtime_s: float | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            name, resources=resources, environment=environment,
+            simulated_runtime_s=simulated_runtime_s, action_id=action_id,
+        )
+        if not objects:
+            raise ValidationError("LinkTask requires at least one object file")
+        if not output:
+            raise ValidationError("LinkTask requires an output executable name")
+        self.objects = list(objects)
+        self.output = output
+        self.libraries = list(libraries or [])
+        self.linker = linker
+
+    def required_software(self) -> list[tuple[str, str]]:
+        reqs = [("compiler", self.linker)]
+        reqs.extend(("library", lib) for lib in self.libraries)
+        return reqs
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload.update(
+            objects=list(self.objects),
+            output=self.output,
+            libraries=list(self.libraries),
+            linker=self.linker,
+        )
+        return payload
+
+
+# ------------------------------------------------------------- data movement
+class FileTask(AbstractTaskObject):
+    """Base for data-movement tasks (imports, exports, transfers)."""
+
+    type_tag = "file"
+
+    def __init__(
+        self,
+        name: str,
+        source_path: str,
+        destination_path: str,
+        resources: ResourceRequest | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(name, resources=resources, action_id=action_id)
+        if not source_path or not destination_path:
+            raise ValidationError(f"{type(self).__name__} requires both paths")
+        self.source_path = source_path
+        self.destination_path = destination_path
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["source_path"] = self.source_path
+        payload["destination_path"] = self.destination_path
+        return payload
+
+
+class ImportTask(FileTask):
+    """Bring data *into* the Uspace.
+
+    ``source_space`` is :data:`FileSpace.WORKSTATION` (file rode along
+    inside the AJO over https) or :data:`FileSpace.XSPACE` (local copy at
+    the Vsite) — the two import sources of section 5.6.
+    """
+
+    type_tag = "import"
+
+    def __init__(
+        self,
+        name: str,
+        source_path: str,
+        destination_path: str,
+        source_space: str = FileSpace.XSPACE,
+        resources: ResourceRequest | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            name, source_path, destination_path, resources=resources,
+            action_id=action_id,
+        )
+        if source_space not in (FileSpace.WORKSTATION, FileSpace.XSPACE):
+            raise ValidationError(
+                f"imports come from workstation or xspace, not {source_space!r}"
+            )
+        self.source_space = source_space
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["source_space"] = self.source_space
+        return payload
+
+
+class ExportTask(FileTask):
+    """Put Uspace data onto permanent file space (Xspace) at the Vsite."""
+
+    type_tag = "export"
+
+
+class TransferTask(FileTask):
+    """Move data between the Uspaces of two UNICORE sites (NJS–NJS).
+
+    Section 5.6: accomplished "through NJS – NJS communication via the
+    gateway ... on the https connection" — the slow path experiment E5
+    measures.
+    """
+
+    type_tag = "transfer"
+
+    def __init__(
+        self,
+        name: str,
+        source_path: str,
+        destination_path: str,
+        destination_usite: str,
+        resources: ResourceRequest | None = None,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            name, source_path, destination_path, resources=resources,
+            action_id=action_id,
+        )
+        if not destination_usite:
+            raise ValidationError("TransferTask requires a destination Usite")
+        self.destination_usite = destination_usite
+
+    def to_payload(self) -> dict:
+        payload = super().to_payload()
+        payload["destination_usite"] = self.destination_usite
+        return payload
+
+
+def _replace_suffix(path: str, suffix: str) -> str:
+    stem, dot, _ = path.rpartition(".")
+    return (stem if dot else path) + suffix

@@ -1,0 +1,19 @@
+"""Exceptions for the batch subsystems."""
+
+__all__ = ["BatchError", "UnknownQueueError", "JobRejectedError", "UnknownJobError"]
+
+
+class BatchError(Exception):
+    """Base class for batch-system errors."""
+
+
+class UnknownQueueError(BatchError):
+    """The named queue does not exist on this system."""
+
+
+class JobRejectedError(BatchError):
+    """The job violates queue limits or machine capacity."""
+
+
+class UnknownJobError(BatchError):
+    """No job with that identifier is known to this system."""

@@ -1,0 +1,114 @@
+"""Machine catalogue: the systems of the six German UNICORE sites.
+
+Paper section 5.7: "UNICORE is running at different German sites
+including the Forschungszentrum Jülich (FZ Jülich), the Computing Centers
+of the universities of Stuttgart (RUS) and Karlsruhe (RUKA), the Leibniz
+Computing Center ... in Munich (LRZ), the Konrad-Zuse Zentrum ... in
+Berlin (ZIB), and the Deutscher Wetterdienst in Offenbach (DWD).  The
+systems covered are Cray T3E, Fujitsu VPP/700, IBM SP-2, and NEC SX-4."
+
+Configurations are period-plausible; what matters for the reproduction is
+their *heterogeneity* — different CPU counts, memory, dialects — which is
+exactly what seamlessness has to hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineConfig", "PAPER_MACHINES", "machine"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Static description of one execution host."""
+
+    name: str
+    architecture: str
+    operating_system: str
+    cpus: int
+    memory_per_cpu_mb: float
+    peak_gflops: float
+    #: Vendor batch dialect key (see :func:`repro.batch.dialects.dialect_for`).
+    dialect: str
+    #: Relative per-CPU speed factor (1.0 = T3E baseline) used to scale
+    #: task runtimes across architectures.
+    speed_factor: float = 1.0
+
+    @property
+    def total_memory_mb(self) -> float:
+        return self.cpus * self.memory_per_cpu_mb
+
+
+PAPER_MACHINES: dict[str, MachineConfig] = {
+    "FZJ-T3E": MachineConfig(
+        name="FZJ-T3E",
+        architecture="Cray T3E-900",
+        operating_system="UNICOS/mk",
+        cpus=512,
+        memory_per_cpu_mb=128.0,
+        peak_gflops=460.0,
+        dialect="nqs",
+        speed_factor=1.0,
+    ),
+    "RUS-T3E": MachineConfig(
+        name="RUS-T3E",
+        architecture="Cray T3E-900",
+        operating_system="UNICOS/mk",
+        cpus=512,
+        memory_per_cpu_mb=128.0,
+        peak_gflops=460.0,
+        dialect="nqs",
+        speed_factor=1.0,
+    ),
+    "RUKA-SP2": MachineConfig(
+        name="RUKA-SP2",
+        architecture="IBM SP-2",
+        operating_system="AIX",
+        cpus=256,
+        memory_per_cpu_mb=256.0,
+        peak_gflops=110.0,
+        dialect="loadleveler",
+        speed_factor=0.8,
+    ),
+    "ZIB-SP2": MachineConfig(
+        name="ZIB-SP2",
+        architecture="IBM SP-2",
+        operating_system="AIX",
+        cpus=192,
+        memory_per_cpu_mb=256.0,
+        peak_gflops=85.0,
+        dialect="loadleveler",
+        speed_factor=0.8,
+    ),
+    "LRZ-VPP": MachineConfig(
+        name="LRZ-VPP",
+        architecture="Fujitsu VPP/700",
+        operating_system="UXP/V",
+        cpus=52,
+        memory_per_cpu_mb=2048.0,
+        peak_gflops=115.0,
+        dialect="vpp",
+        speed_factor=4.0,  # vector CPUs
+    ),
+    "DWD-SX4": MachineConfig(
+        name="DWD-SX4",
+        architecture="NEC SX-4",
+        operating_system="SUPER-UX",
+        cpus=32,
+        memory_per_cpu_mb=4096.0,
+        peak_gflops=64.0,
+        dialect="nqs",
+        speed_factor=5.0,  # vector CPUs
+    ),
+}
+
+
+def machine(name: str) -> MachineConfig:
+    """Look up a paper machine by name."""
+    try:
+        return PAPER_MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(PAPER_MACHINES)}"
+        ) from None

@@ -1,0 +1,118 @@
+"""Space-sharing schedulers: FCFS and EASY backfill.
+
+The paper leaves destination-system scheduling entirely to the sites
+(section 5.5), so the simulator must provide realistic local policies:
+plain first-come-first-served, and EASY backfill (aggressive backfill
+with one reservation for the queue head) — the policy of the era's IBM
+SP-2 installations.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.batch.base import BatchJobRecord
+
+__all__ = ["FCFSScheduler", "BackfillScheduler"]
+
+
+class FCFSScheduler:
+    """Start pending jobs strictly in arrival order; head-of-line blocks."""
+
+    name = "fcfs"
+
+    def select(
+        self,
+        pending: "list[BatchJobRecord]",
+        free_cpus: int,
+        now: float,
+        running: "list[BatchJobRecord]",
+    ) -> "list[BatchJobRecord]":
+        started = []
+        for record in pending:
+            need = record.spec.resources.cpus
+            if need <= free_cpus:
+                started.append(record)
+                free_cpus -= need
+            else:
+                break
+        return started
+
+
+class BackfillScheduler:
+    """EASY backfill: FCFS plus jobs that cannot delay the queue head.
+
+    When the head job does not fit, compute its *shadow time* (earliest
+    start given running jobs' requested limits) and the *extra* CPUs spare
+    at that moment; a later job may backfill if it fits now and either
+    finishes (by its requested limit) before the shadow time or uses no
+    more than the extra CPUs.
+    """
+
+    name = "easy-backfill"
+
+    def select(
+        self,
+        pending: "list[BatchJobRecord]",
+        free_cpus: int,
+        now: float,
+        running: "list[BatchJobRecord]",
+    ) -> "list[BatchJobRecord]":
+        started: "list[BatchJobRecord]" = []
+        queue = list(pending)
+
+        # Greedy FCFS prefix.
+        while queue and queue[0].spec.resources.cpus <= free_cpus:
+            record = queue.pop(0)
+            started.append(record)
+            free_cpus -= record.spec.resources.cpus
+        if not queue:
+            return started
+
+        head = queue[0]
+        shadow_time, extra_cpus = self._reservation(
+            head, free_cpus, now, running + started
+        )
+
+        for record in queue[1:]:
+            need = record.spec.resources.cpus
+            if need > free_cpus:
+                continue
+            projected_end = now + record.spec.resources.time_s
+            if projected_end <= shadow_time or need <= extra_cpus:
+                started.append(record)
+                free_cpus -= need
+                if need > extra_cpus:
+                    pass  # consumed only pre-shadow capacity
+                else:
+                    extra_cpus -= need
+        return started
+
+    @staticmethod
+    def _reservation(
+        head: "BatchJobRecord",
+        free_cpus: int,
+        now: float,
+        running: "list[BatchJobRecord]",
+    ) -> tuple[float, int]:
+        """(earliest head start, CPUs spare at that time beyond head's need)."""
+        need = head.spec.resources.cpus
+        # Releases ordered by requested-limit end time.
+        releases = sorted(
+            (
+                (
+                    (r.start_time if r.start_time is not None else now)
+                    + r.spec.resources.time_s,
+                    r.spec.resources.cpus,
+                )
+                for r in running
+            ),
+        )
+        available = free_cpus
+        for end_time, cpus in releases:
+            available += cpus
+            if available >= need:
+                return end_time, available - need
+        # Head can never start (should have been rejected at submit).
+        return float("inf"), 0

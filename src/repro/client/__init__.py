@@ -1,0 +1,30 @@
+"""The user tier: browser, Job Preparation Agent, Job Monitor Controller.
+
+Paper section 4.1: "The UNICORE user interface takes advantage of
+existing Web browsers and the https protocol ...  The signed applet for
+the job preparation agent (JPA) or the job monitor controller (JMC) is
+loaded from the server into the Web browser only in case of successful
+user authentication.  The applet certificate is checked to assure the
+user that the software has not been tampered with."
+
+- :mod:`repro.client.browser` — connects to a Usite, performs the
+  mutual-authentication handshake, downloads and verifies the signed
+  applets, yielding a :class:`~repro.client.browser.UnicoreSession`;
+- :mod:`repro.client.jpa` — programmatic JPA: build jobs (script tasks,
+  compile-link-execute, imports/exports/transfers, dependencies with
+  file annotations), validate against resource pages, consign;
+- :mod:`repro.client.jmc` — monitor job status (colored tree), list
+  jobs, fetch outcomes, save outputs, cancel.
+"""
+
+from repro.client.browser import Browser, UnicoreSession
+from repro.client.jpa import JobBuilder, JobPreparationAgent
+from repro.client.jmc import JobMonitorController
+
+__all__ = [
+    "Browser",
+    "JobBuilder",
+    "JobMonitorController",
+    "JobPreparationAgent",
+    "UnicoreSession",
+]

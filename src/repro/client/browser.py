@@ -1,0 +1,143 @@
+"""The user's web browser: connection, authentication, applet loading."""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.net.https import HttpsChannel, establish_https
+from repro.net.transport import Network
+from repro.protocol.client import AsyncProtocolClient, ReplyRouter
+from repro.protocol.retry import RetryPolicy
+from repro.resources.page import ResourcePage
+from repro.security.applet import SignedApplet, verify_applet
+from repro.security.ca import CertificateStore
+from repro.security.errors import TamperedBundleError
+from repro.security.rsa import RSAKeyPair
+from repro.security.x509 import Certificate
+from repro.server.usite import Usite
+from repro.simkernel import Simulator
+from repro.vfs.spaces import Workstation
+
+__all__ = ["Browser", "UnicoreSession"]
+
+
+@dataclass(slots=True)
+class UnicoreSession:
+    """An authenticated session with one Usite, applets loaded.
+
+    Carries the protocol client the JPA/JMC use, the resource pages the
+    gateway served (decoded from ASN.1), and the verified applets.
+    """
+
+    usite: str
+    user_dn: str
+    channel: HttpsChannel
+    client: AsyncProtocolClient
+    resource_pages: dict[str, ResourcePage]
+    applets: dict[str, SignedApplet] = field(default_factory=dict)
+
+
+class Browser:
+    """The paper's user access mechanism: a standard web browser.
+
+    "Zero administration": all software arrives as signed applets from
+    the server; the browser only holds the user's certificate and the
+    trusted CA list.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host_name: str,
+        user_cert: Certificate,
+        user_key: RSAKeyPair,
+        trust_store: CertificateStore,
+        workstation: Workstation | None = None,
+        retry: RetryPolicy | None = None,
+        poll_interval_s: float = 30.0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host = network.host(host_name)
+        self.user_cert = user_cert
+        self.user_key = user_key
+        self.trust_store = trust_store
+        self.workstation = workstation or Workstation(str(user_cert.subject))
+        self.retry = retry or RetryPolicy()
+        self.poll_interval_s = poll_interval_s
+        self._router: ReplyRouter | None = None
+
+    @property
+    def user_dn(self) -> str:
+        return str(self.user_cert.subject)
+
+    def connect(
+        self, usite: Usite, applet_names: typing.Iterable[str] = ("JPA", "JMC")
+    ) -> typing.Generator:
+        """Connect to a Usite (``yield from`` inside a process).
+
+        Performs the section 4.1 sequence: mutual https authentication,
+        then applet download + signature verification, then resource-page
+        retrieval.  Returns a :class:`UnicoreSession`.
+        """
+        channel = yield from establish_https(
+            self.sim,
+            self.network,
+            self.host.name,
+            usite.gateway_host.name,
+            client_cert=self.user_cert,
+            client_key=self.user_key,
+            server_cert=usite.server_cert,
+            server_key=usite.server_key,
+            client_store=self.trust_store,
+            server_store=usite.cert_store,
+        )
+        usite.gateway.register_channel(self.host.name, channel)
+
+        # Applets load "from the server into the Web browser only in case
+        # of successful user authentication".
+        applets: dict[str, SignedApplet] = {}
+        for name in applet_names:
+            applet = usite.gateway.serve_applet(name)
+            # Download cost over the authenticated channel.
+            yield channel.send(
+                ("applet", name), applet.bundle.total_size,
+                to_server=False, deliver=False,
+            )
+            # "The applet certificate is checked to assure the user that
+            # the software has not been tampered with."
+            self.trust_store.validate(applet.signer_certificate, now=self.sim.now)
+            try:
+                verify_applet(applet)
+            except TamperedBundleError:
+                raise
+            applets[name] = applet
+
+        # Resource pages ship with the applet (section 5.4).
+        pages_asn1 = usite.gateway.resource_pages()
+        total = sum(len(b) for b in pages_asn1.values())
+        if total:
+            yield channel.send(
+                ("resource-pages",), total, to_server=False, deliver=False
+            )
+        pages = {
+            vsite: ResourcePage.from_asn1(blob)
+            for vsite, blob in pages_asn1.items()
+        }
+
+        if self._router is None:
+            self._router = ReplyRouter(self.sim, self.host)
+        client = AsyncProtocolClient(
+            self.sim, channel, self._router,
+            retry=self.retry, poll_interval_s=self.poll_interval_s,
+        )
+        return UnicoreSession(
+            usite=usite.name,
+            user_dn=self.user_dn,
+            channel=channel,
+            client=client,
+            resource_pages=pages,
+            applets=applets,
+        )

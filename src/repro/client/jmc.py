@@ -1,0 +1,178 @@
+"""The Job Monitor Controller.
+
+Paper section 5.7: "The JMC shows the job status of the user's UNICORE
+jobs in a display similar to the one of the JPA.  The icons are colored
+to reflect the job status in a seamless way.  Depending on the chosen
+level of detail the status is displayed for job groups and/or tasks.
+The standard output and error files can be listed and/or saved for
+tasks."
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.ajo.outcome import AJOOutcome, Outcome, TaskOutcome
+from repro.ajo.serialize import decode_outcome, encode_service
+from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
+from repro.client.browser import UnicoreSession
+from repro.protocol.messages import Request, RequestKind
+from repro.vfs.spaces import Workstation
+
+__all__ = ["JobMonitorController"]
+
+_TERMINAL = {"successful", "failed", "killed", "not_attempted"}
+
+
+class JobMonitorController:
+    """The JMC applet: monitor, control, and harvest job results."""
+
+    def __init__(self, session: UnicoreSession) -> None:
+        self.session = session
+
+    # -- monitoring (each method is a generator: yield from in a process) ----
+    def list_jobs(self):
+        service = ListService("list my jobs")
+        reply = yield from self.session.client.interact(
+            Request(
+                kind=RequestKind.LIST,
+                user_dn=self.session.user_dn,
+                payload=encode_service(service),
+            )
+        )
+        if not reply.ok:
+            raise RuntimeError(f"list failed: {reply.error}")
+        return json.loads(reply.payload)
+
+    def status(self, job_id: str, detail: str = QueryService.DETAIL_TASKS):
+        service = QueryService("status", target_job_id=job_id, detail=detail)
+        reply = yield from self.session.client.query(
+            encode_service(service), user_dn=self.session.user_dn
+        )
+        if not reply.ok:
+            raise RuntimeError(f"query failed: {reply.error}")
+        return json.loads(reply.payload)
+
+    def wait_for_completion(self, job_id: str, max_polls: int = 10_000):
+        """Poll until the job reaches a terminal state (async pattern)."""
+        service = QueryService("poll", target_job_id=job_id)
+        query_bytes = encode_service(service)
+        reply = yield from self.session.client.poll_until(
+            make_query=lambda: query_bytes,
+            user_dn=self.session.user_dn,
+            is_done=lambda r: r.ok and json.loads(r.payload)["status"] in _TERMINAL,
+            max_polls=max_polls,
+        )
+        return json.loads(reply.payload)
+
+    def outcome(self, job_id: str):
+        """Fetch the full Outcome tree (stdout/stderr included)."""
+        reply = yield from self.session.client.interact(
+            Request(
+                kind=RequestKind.RETRIEVE_OUTCOME,
+                user_dn=self.session.user_dn,
+                payload=job_id.encode(),
+            )
+        )
+        if not reply.ok:
+            raise RuntimeError(f"outcome retrieval failed: {reply.error}")
+        return decode_outcome(reply.payload)
+
+    # -- control -----------------------------------------------------------------
+    def control(self, job_id: str, verb: str):
+        """Send a ControlService (cancel / hold / resume)."""
+        service = ControlService(verb, target_job_id=job_id, verb=verb)
+        reply = yield from self.session.client.interact(
+            Request(
+                kind=RequestKind.CONTROL,
+                user_dn=self.session.user_dn,
+                payload=encode_service(service),
+            )
+        )
+        if not reply.ok:
+            raise RuntimeError(f"{verb} failed: {reply.error}")
+        return json.loads(reply.payload)
+
+    def cancel(self, job_id: str):
+        return (yield from self.control(job_id, ControlVerb.CANCEL))
+
+    def hold(self, job_id: str):
+        """Pause delivery of the job's remaining parts."""
+        return (yield from self.control(job_id, ControlVerb.HOLD))
+
+    def resume(self, job_id: str):
+        """Release a held job."""
+        return (yield from self.control(job_id, ControlVerb.RESUME))
+
+    def fetch_file(self, job_id: str, path: str, workstation=None,
+                   save_as: str | None = None):
+        """Bring a Uspace file back to the workstation (section 5.6).
+
+        Returns the content; with ``workstation`` also saves it there.
+        """
+        reply = yield from self.session.client.interact(
+            Request(
+                kind=RequestKind.FETCH_FILE,
+                user_dn=self.session.user_dn,
+                payload=json.dumps({"job_id": job_id, "path": path}).encode(),
+            )
+        )
+        if not reply.ok:
+            raise RuntimeError(f"fetch failed: {reply.error}")
+        if workstation is not None:
+            workstation.fs.write(save_as or f"/downloads/{path}", reply.payload)
+        return reply.payload
+
+    def dispose(self, job_id: str):
+        """Release a finished job's Uspaces on the server."""
+        reply = yield from self.session.client.interact(
+            Request(
+                kind=RequestKind.DISPOSE,
+                user_dn=self.session.user_dn,
+                payload=job_id.encode(),
+            )
+        )
+        if not reply.ok:
+            raise RuntimeError(f"dispose failed: {reply.error}")
+        return json.loads(reply.payload)
+
+    # -- output handling (pure client-side helpers) --------------------------
+    @staticmethod
+    def list_task_outputs(outcome: AJOOutcome) -> dict[str, tuple[str, str]]:
+        """``action_id -> (stdout, stderr)`` for every task in the tree."""
+        outputs: dict[str, tuple[str, str]] = {}
+
+        def walk(node: Outcome) -> None:
+            if isinstance(node, TaskOutcome):
+                outputs[node.action_id] = (node.stdout, node.stderr)
+            if isinstance(node, AJOOutcome):
+                for child in node.children.values():
+                    walk(child)
+
+        walk(outcome)
+        return outputs
+
+    @staticmethod
+    def save_output(
+        outcome: TaskOutcome, workstation: Workstation, path: str
+    ) -> None:
+        """Save a task's standard output to the user's workstation.
+
+        Section 5.6: "The current implementation sends data back to the
+        workstation only on user request while the user is working with
+        the JMC" — this is that request.
+        """
+        workstation.fs.write(path, outcome.stdout.encode())
+
+    @staticmethod
+    def render_tree(tree: dict, indent: int = 0) -> str:
+        """The JMC display: the job tree with status colors."""
+        line = (
+            " " * indent
+            + f"[{tree['color']:>6}] {tree['name']} ({tree['status']})"
+        )
+        lines = [line]
+        for child in tree.get("children", []):
+            lines.append(JobMonitorController.render_tree(child, indent + 2))
+        return "\n".join(lines)

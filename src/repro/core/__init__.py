@@ -1,0 +1,105 @@
+"""The paper's primary contribution, under one roof.
+
+UNICORE's core is not a single algorithm but the combination of four
+pieces: the recursive Abstract Job Object (:mod:`repro.ajo`), the
+asynchronous protocol that moves it (:mod:`repro.protocol`), the server
+tier that executes it — gateway plus NJS (:mod:`repro.server`) — and the
+client tier that authors and monitors it (:mod:`repro.client`).  This
+package re-exports that core API as a single namespace; the substrate
+packages (simkernel, net, security, resources, vfs, batch) stay separate,
+mirroring the DESIGN.md inventory.
+"""
+
+from repro.ajo import (
+    AbstractAction,
+    AbstractJobObject,
+    AbstractService,
+    AbstractTaskObject,
+    ActionStatus,
+    AJOOutcome,
+    CompileTask,
+    ControlService,
+    ExecuteScriptTask,
+    ExecuteTask,
+    ExportTask,
+    FileOutcome,
+    FileTask,
+    ImportTask,
+    LinkTask,
+    ListService,
+    Outcome,
+    QueryService,
+    TaskOutcome,
+    TransferTask,
+    UserTask,
+    decode_ajo,
+    decode_outcome,
+    encode_ajo,
+    encode_outcome,
+    validate_ajo,
+)
+from repro.client import (
+    Browser,
+    JobBuilder,
+    JobMonitorController,
+    JobPreparationAgent,
+    UnicoreSession,
+)
+from repro.protocol import (
+    AsyncProtocolClient,
+    Reply,
+    Request,
+    RequestKind,
+    RetryPolicy,
+)
+from repro.server import (
+    Gateway,
+    NetworkJobSupervisor,
+    TranslationTable,
+    Usite,
+    Vsite,
+)
+
+__all__ = [
+    "AJOOutcome",
+    "AbstractAction",
+    "AbstractJobObject",
+    "AbstractService",
+    "AbstractTaskObject",
+    "ActionStatus",
+    "AsyncProtocolClient",
+    "Browser",
+    "CompileTask",
+    "ControlService",
+    "ExecuteScriptTask",
+    "ExecuteTask",
+    "ExportTask",
+    "FileOutcome",
+    "FileTask",
+    "Gateway",
+    "ImportTask",
+    "JobBuilder",
+    "JobMonitorController",
+    "JobPreparationAgent",
+    "LinkTask",
+    "ListService",
+    "NetworkJobSupervisor",
+    "Outcome",
+    "QueryService",
+    "Reply",
+    "Request",
+    "RequestKind",
+    "RetryPolicy",
+    "TaskOutcome",
+    "TransferTask",
+    "TranslationTable",
+    "UnicoreSession",
+    "Usite",
+    "UserTask",
+    "Vsite",
+    "decode_ajo",
+    "decode_outcome",
+    "encode_ajo",
+    "encode_outcome",
+    "validate_ajo",
+]

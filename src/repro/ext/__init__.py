@@ -1,0 +1,36 @@
+"""Extensions: the paper's section 6 outlook, implemented.
+
+The paper closes with four future directions; three are buildable on the
+reproduced architecture and live here:
+
+- :mod:`repro.ext.broker` — "a resource broker which supports the users
+  in a way that they can specify the needed resources on a more abstract
+  level and the broker finds the appropriate execution server for it.
+  Together with accounting functions and load information the resource
+  broker can find the best system";
+- :mod:`repro.ext.accounting` — those accounting functions;
+- :mod:`repro.ext.appinterfaces` — "application specific interfaces for
+  standard packages like Ansys or Pamcrash";
+- :mod:`repro.ext.coallocation` — a best-effort sketch of synchronous
+  meta-computing, demonstrating exactly why the paper postponed it: the
+  site-autonomy decision leaves no reservation primitive to build on.
+
+(The fourth item, application steering, requires interactive processes,
+which the architecture excludes by design.)
+"""
+
+from repro.ext.accounting import AccountingLog, UsageRecord
+from repro.ext.broker import BrokerDecision, ResourceBroker
+from repro.ext.appinterfaces import ApplicationTemplate, STANDARD_PACKAGES
+from repro.ext.coallocation import CoAllocationResult, CoAllocator
+
+__all__ = [
+    "AccountingLog",
+    "ApplicationTemplate",
+    "BrokerDecision",
+    "CoAllocationResult",
+    "CoAllocator",
+    "ResourceBroker",
+    "STANDARD_PACKAGES",
+    "UsageRecord",
+]

@@ -1,0 +1,82 @@
+"""Accounting functions (paper section 6).
+
+Tracks per-user, per-Vsite resource consumption from batch records so the
+broker can weigh cost and sites can bill their users.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.batch.base import BatchJobRecord, BatchState
+
+__all__ = ["UsageRecord", "AccountingLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class UsageRecord:
+    """One job's billed consumption."""
+
+    user: str
+    group: str
+    vsite: str
+    cpu_seconds: float
+    origin: str  # "unicore" or "local"
+
+    @property
+    def cpu_hours(self) -> float:
+        return self.cpu_seconds / 3600.0
+
+
+class AccountingLog:
+    """Collects usage from completed batch records."""
+
+    def __init__(self, cost_per_cpu_hour: dict[str, float] | None = None) -> None:
+        self._records: list[UsageRecord] = []
+        #: Per-Vsite price (abstract currency units per CPU-hour).
+        self.cost_per_cpu_hour = dict(cost_per_cpu_hour or {})
+
+    def charge(self, vsite: str, record: BatchJobRecord) -> UsageRecord | None:
+        """Account one finished batch record (DONE or FAILED both bill)."""
+        if record.state not in (BatchState.DONE, BatchState.FAILED):
+            return None
+        if record.start_time is None or record.end_time is None:
+            return None
+        usage = UsageRecord(
+            user=record.spec.owner,
+            group=record.spec.group,
+            vsite=vsite,
+            cpu_seconds=record.spec.resources.cpus
+            * (record.end_time - record.start_time),
+            origin=record.spec.origin,
+        )
+        self._records.append(usage)
+        return usage
+
+    def charge_all(self, vsite: str, records: typing.Iterable[BatchJobRecord]) -> int:
+        """Charge every billable record; returns how many were billed."""
+        return sum(1 for r in records if self.charge(vsite, r) is not None)
+
+    # -- queries -------------------------------------------------------------
+    def cpu_hours_by_user(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self._records:
+            out[r.user] = out.get(r.user, 0.0) + r.cpu_hours
+        return out
+
+    def cpu_hours_by_vsite(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self._records:
+            out[r.vsite] = out.get(r.vsite, 0.0) + r.cpu_hours
+        return out
+
+    def cost_by_user(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self._records:
+            rate = self.cost_per_cpu_hour.get(r.vsite, 1.0)
+            out[r.user] = out.get(r.user, 0.0) + r.cpu_hours * rate
+        return out
+
+    def __len__(self) -> int:
+        return len(self._records)

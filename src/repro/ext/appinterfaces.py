@@ -1,0 +1,122 @@
+"""Application-specific interfaces (paper section 6).
+
+"Application specific interfaces for standard packages like Ansys or
+Pamcrash will make life easier especially for users from industry."
+(Also the WebSubmit comparison in section 2: letting users "solve their
+computational problem using application terms instead of computer
+hardware and software system terms".)
+
+An :class:`ApplicationTemplate` turns domain-level parameters into a
+fully wired UNICORE job: imports, the package invocation as a script
+task, and result exports — the user never sees a batch directive.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.ajo.errors import ValidationError
+from repro.client.jpa import JobBuilder, JobPreparationAgent
+from repro.resources.model import ResourceRequest
+
+__all__ = ["ApplicationTemplate", "STANDARD_PACKAGES"]
+
+
+@dataclass(frozen=True, slots=True)
+class ApplicationTemplate:
+    """Builds jobs for one packaged application in application terms.
+
+    Attributes
+    ----------
+    package:
+        The resource-page package name the destination must offer.
+    command:
+        Invocation template; ``{input}``/``{cpus}`` are substituted.
+    default_memory_per_cpu_mb / runtime_per_mb_s:
+        Crude application-calibrated sizing rules: the whole point of an
+        application interface is that *it* knows these, not the user.
+    """
+
+    name: str
+    package: str
+    command: str
+    input_extension: str
+    result_files: tuple[str, ...]
+    default_memory_per_cpu_mb: float = 256.0
+    runtime_per_mb_s: float = 600.0
+
+    def build_job(
+        self,
+        jpa: JobPreparationAgent,
+        vsite: str,
+        input_path: str,
+        input_size_mb: float,
+        cpus: int = 4,
+        export_to: str | None = None,
+    ) -> JobBuilder:
+        """A complete job from application-level inputs.
+
+        ``input_path`` is a workstation file (the engineer's model deck).
+        """
+        if not input_path.endswith(self.input_extension):
+            raise ValidationError(
+                f"{self.name} expects a {self.input_extension} input, got "
+                f"{input_path!r}"
+            )
+        page = jpa.session.resource_pages.get(vsite)
+        if page is not None and not page.software.has("package", self.package):
+            raise ValidationError(
+                f"Vsite {vsite} does not offer the {self.package} package"
+            )
+        runtime = max(60.0, input_size_mb * self.runtime_per_mb_s / cpus)
+        resources = ResourceRequest(
+            cpus=cpus,
+            time_s=runtime * 3.0,
+            memory_mb=cpus * self.default_memory_per_cpu_mb,
+        )
+        deck = f"model{self.input_extension}"
+        job = jpa.new_job(f"{self.name}-run", vsite=vsite)
+        imp = job.import_from_workstation(input_path, deck)
+        run = job.script_task(
+            f"{self.name}",
+            script="#!/bin/sh\n"
+            + self.command.format(input=deck, cpus=cpus)
+            + "\n",
+            resources=resources,
+            simulated_runtime_s=runtime,
+        )
+        job.depends(imp, run, files=[deck])
+        for result in self.result_files:
+            exp = job.export_to_xspace(
+                result, (export_to or "/results") + f"/{result}"
+            )
+            job.depends(run, exp, files=[result])
+        return job
+
+
+#: The packages the paper names, plus the section 2 WebSubmit example.
+STANDARD_PACKAGES: dict[str, ApplicationTemplate] = {
+    "ansys": ApplicationTemplate(
+        name="ansys",
+        package="ansys",
+        command="ansys -np {cpus} -i {input}",
+        input_extension=".db",
+        result_files=("solution.rst",),
+    ),
+    "pamcrash": ApplicationTemplate(
+        name="pamcrash",
+        package="pamcrash",
+        command="pamcrash -nproc {cpus} {input}",
+        input_extension=".pc",
+        result_files=("crash.erf", "crash.out"),
+    ),
+    "gaussian94": ApplicationTemplate(
+        name="gaussian94",
+        package="gaussian94",
+        command="g94 < {input}",
+        input_extension=".com",
+        result_files=("molecule.log", "molecule.chk"),
+        runtime_per_mb_s=3600.0,
+    ),
+}

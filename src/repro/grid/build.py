@@ -1,0 +1,200 @@
+"""Grid construction: sites, PKI, applets, users, and the WAN.
+
+:func:`build_german_grid` reproduces the production deployment of paper
+section 5.7: FZ Jülich, RUS Stuttgart, RUKA Karlsruhe, LRZ Munich, ZIB
+Berlin, and DWD Offenbach, running Cray T3E, Fujitsu VPP/700, IBM SP-2,
+and NEC SX-4 systems, all trusting one CA (the DFN-PCA role).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.batch.machines import machine
+from repro.client.browser import Browser, UnicoreSession
+from repro.net.transport import Network
+from repro.security.applet import AppletBundle, SignedApplet, sign_applet
+from repro.security.ca import CertificateAuthority, CertificateStore
+from repro.security.x509 import CertificateRole, DistinguishedName
+from repro.server.usite import Usite
+from repro.simkernel import Simulator
+from repro.vfs.spaces import Workstation
+
+__all__ = ["Grid", "GridUser", "build_grid", "build_german_grid"]
+
+#: The six production sites of section 5.7 and their machines.
+GERMAN_SITES: dict[str, list[str]] = {
+    "FZJ": ["FZJ-T3E"],
+    "RUS": ["RUS-T3E"],
+    "RUKA": ["RUKA-SP2"],
+    "LRZ": ["LRZ-VPP"],
+    "ZIB": ["ZIB-SP2"],
+    "DWD": ["DWD-SX4"],
+}
+
+#: 1999-era WAN between German research centers (B-WiN): 2 Mbit/s slices,
+#: ~15 ms one-way latency.
+WAN_LATENCY_S = 0.015
+WAN_BANDWIDTH_BPS = 250_000.0
+#: User access lines were slower still (ISDN/early DSL uplinks aside,
+#: university LANs reached the WAN at similar rates).
+ACCESS_LATENCY_S = 0.010
+ACCESS_BANDWIDTH_BPS = 250_000.0
+
+
+@dataclass(slots=True)
+class GridUser:
+    """A user: certificate, workstation, and a browser on a named host."""
+
+    name: str
+    browser: Browser
+    workstation: Workstation
+
+
+class Grid:
+    """A running multi-site UNICORE deployment."""
+
+    def __init__(self, sim: Simulator, network: Network, ca: CertificateAuthority) -> None:
+        self.sim = sim
+        self.network = network
+        self.ca = ca
+        self.usites: dict[str, Usite] = {}
+        self.users: dict[str, GridUser] = {}
+        self.applets: dict[str, SignedApplet] = {}
+        self._user_seq = 0
+
+    # -- construction --------------------------------------------------------
+    def add_usite(self, name: str, machine_names: list[str], **usite_kw) -> Usite:
+        usite = Usite(
+            self.sim,
+            self.network,
+            name,
+            self.ca,
+            machines=[machine(m) for m in machine_names],
+            applets=self.applets,
+            **usite_kw,
+        )
+        self.usites[name] = usite
+        return usite
+
+    def connect_all(
+        self,
+        latency_s: float = WAN_LATENCY_S,
+        bandwidth_Bps: float = WAN_BANDWIDTH_BPS,
+        loss_probability: float = 0.0,
+    ) -> None:
+        """Full WAN mesh between all Usites (Figure 2)."""
+        names = sorted(self.usites)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                self.usites[a].connect_to(
+                    self.usites[b],
+                    latency_s=latency_s,
+                    bandwidth_Bps=bandwidth_Bps,
+                    loss_probability=loss_probability,
+                )
+
+    def add_user(
+        self,
+        cn: str,
+        organization: str = "",
+        logins: dict[str, str] | None = None,
+        home_sites: typing.Iterable[str] | None = None,
+    ) -> GridUser:
+        """Create a user: certificate, UUDB entries, workstation, browser.
+
+        ``logins`` maps Usite name → local login; sites not listed get no
+        mapping (access there will be refused — the paper's model).
+        """
+        dn = DistinguishedName(cn=cn, o=organization, c="DE")
+        cert, key = self.ca.issue(dn, role=CertificateRole.USER)
+        for usite_name, login in (logins or {}).items():
+            self.usites[usite_name].add_user(dn, login)
+
+        self._user_seq += 1
+        host_name = f"ws{self._user_seq}.{cn.split()[0].lower()}"
+        self.network.add_host(host_name)
+        for usite_name in home_sites or self.usites:
+            self.network.link(
+                host_name,
+                self.usites[usite_name].gateway_host.name,
+                latency_s=ACCESS_LATENCY_S,
+                bandwidth_Bps=ACCESS_BANDWIDTH_BPS,
+            )
+        workstation = Workstation(str(dn))
+        browser = Browser(
+            self.sim,
+            self.network,
+            host_name,
+            user_cert=cert,
+            user_key=key,
+            trust_store=CertificateStore(trusted=[self.ca]),
+            workstation=workstation,
+        )
+        user = GridUser(name=cn, browser=browser, workstation=workstation)
+        self.users[cn] = user
+        return user
+
+    # -- convenience -------------------------------------------------------------
+    def connect_user(
+        self, user: GridUser, usite_name: str
+    ) -> UnicoreSession:
+        """Run the browser-connect process to completion (setup helper)."""
+        proc = self.sim.process(
+            user.browser.connect(self.usites[usite_name]),
+            name=f"connect:{user.name}@{usite_name}",
+        )
+        return typing.cast(UnicoreSession, self.sim.run(until=proc))
+
+
+def _build_applets(ca: CertificateAuthority) -> dict[str, SignedApplet]:
+    """The signed JPA and JMC applets every gateway serves (section 4.1)."""
+    dev_cert, dev_key = ca.issue(
+        DistinguishedName(cn="UNICORE Software", o="UNICORE Consortium", c="DE"),
+        role=CertificateRole.SOFTWARE,
+    )
+    applets = {}
+    for name, classes in (
+        ("JPA", ["JobTree", "TaskEditor", "ResourcePanel", "SubmitDialog"]),
+        ("JMC", ["StatusTree", "OutputViewer", "ControlPanel"]),
+    ):
+        bundle = AppletBundle(name=name, version="3.0")
+        for cls in classes:
+            # Synthetic class files: content derives from the name so two
+            # builds are identical (and tampering is detectable).
+            bundle.add_file(
+                f"{name.lower()}/{cls}.class",
+                b"\xca\xfe\xba\xbe" + cls.encode() * 400,
+            )
+        applets[name] = sign_applet(bundle, dev_cert, dev_key)
+    return applets
+
+
+def build_grid(
+    sites: dict[str, list[str]],
+    seed: int = 0,
+    wan_latency_s: float = WAN_LATENCY_S,
+    wan_bandwidth_Bps: float = WAN_BANDWIDTH_BPS,
+    wan_loss: float = 0.0,
+    key_bits: int = 384,
+) -> Grid:
+    """Build a grid with the given ``{usite: [machine names]}`` layout."""
+    sim = Simulator()
+    network = Network(sim, seed=seed)
+    ca = CertificateAuthority(key_bits=key_bits, seed=seed)
+    grid = Grid(sim, network, ca)
+    grid.applets.update(_build_applets(ca))
+    for name, machines in sites.items():
+        grid.add_usite(name, machines)
+    grid.connect_all(
+        latency_s=wan_latency_s,
+        bandwidth_Bps=wan_bandwidth_Bps,
+        loss_probability=wan_loss,
+    )
+    return grid
+
+
+def build_german_grid(seed: int = 0, **kw) -> Grid:
+    """The six-site production deployment of paper section 5.7."""
+    return build_grid(GERMAN_SITES, seed=seed, **kw)

@@ -1,0 +1,74 @@
+"""Instrumentation helpers for experiments and benchmarks."""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TierTimes", "summarize_turnarounds", "percentiles"]
+
+
+@dataclass(slots=True)
+class TierTimes:
+    """Per-tier latency breakdown of one end-to-end job (experiment E1)."""
+
+    handshake_s: float = 0.0
+    applet_load_s: float = 0.0
+    consign_s: float = 0.0
+    gateway_auth_s: float = 0.0
+    incarnation_s: float = 0.0
+    batch_wait_s: float = 0.0
+    execution_s: float = 0.0
+    staging_s: float = 0.0
+    outcome_return_s: float = 0.0
+
+    def middleware_total(self) -> float:
+        """Everything UNICORE adds on top of the batch system."""
+        return (
+            self.handshake_s
+            + self.applet_load_s
+            + self.consign_s
+            + self.gateway_auth_s
+            + self.incarnation_s
+            + self.staging_s
+            + self.outcome_return_s
+        )
+
+    def total(self) -> float:
+        return self.middleware_total() + self.batch_wait_s + self.execution_s
+
+    def rows(self) -> list[tuple[str, float]]:
+        return [
+            ("SSL handshake + applet load", self.handshake_s + self.applet_load_s),
+            ("consignment (client->NJS)", self.consign_s),
+            ("gateway authentication+mapping", self.gateway_auth_s),
+            ("incarnation", self.incarnation_s),
+            ("file staging", self.staging_s),
+            ("batch queue wait", self.batch_wait_s),
+            ("execution", self.execution_s),
+            ("outcome return", self.outcome_return_s),
+        ]
+
+
+def percentiles(values: typing.Sequence[float], ps=(50, 90, 99)) -> dict[int, float]:
+    if not values:
+        return {p: float("nan") for p in ps}
+    arr = np.asarray(values, dtype=float)
+    return {p: float(np.percentile(arr, p)) for p in ps}
+
+
+def summarize_turnarounds(values: typing.Sequence[float]) -> dict[str, float]:
+    """Mean/percentile summary used by several benchmark tables."""
+    if not values:
+        return {"count": 0, "mean": float("nan"), "p50": float("nan"),
+                "p90": float("nan"), "max": float("nan")}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "max": float(arr.max()),
+    }

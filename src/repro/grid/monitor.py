@@ -1,0 +1,86 @@
+"""Grid monitoring: periodic sampling of site state.
+
+A :class:`GridMonitor` runs as a simulation process, sampling each
+Vsite's queue depth, running jobs, and free CPUs on a fixed period —
+the load-information feed the section-6 resource broker needs, and the
+raw material of utilization plots.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.simkernel import Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.build import Grid
+
+__all__ = ["Sample", "GridMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One observation of one Vsite."""
+
+    time: float
+    usite: str
+    vsite: str
+    queued: int
+    running: int
+    free_cpus: int
+    utilization: float
+
+
+class GridMonitor:
+    """Samples every Vsite of a grid on a fixed period."""
+
+    def __init__(
+        self, grid: "Grid", period_s: float = 300.0, horizon_s: float = float("inf")
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.grid = grid
+        self.period_s = period_s
+        self.horizon_s = horizon_s
+        self.samples: list[Sample] = []
+        grid.sim.process(self._run(), name="grid-monitor")
+
+    def _run(self):
+        sim: Simulator = self.grid.sim
+        while sim.now < self.horizon_s:
+            self._sample()
+            yield sim.timeout(self.period_s)
+
+    def _sample(self) -> None:
+        now = self.grid.sim.now
+        for usite_name, usite in self.grid.usites.items():
+            for vsite_name, vsite in usite.vsites.items():
+                batch = vsite.batch
+                self.samples.append(Sample(
+                    time=now,
+                    usite=usite_name,
+                    vsite=vsite_name,
+                    queued=batch.pending_count,
+                    running=batch.running_count,
+                    free_cpus=batch.free_cpus,
+                    utilization=batch.utilization(),
+                ))
+
+    # -- queries ---------------------------------------------------------
+    def series(self, vsite: str) -> list[Sample]:
+        """All samples of one Vsite, in time order."""
+        return [s for s in self.samples if s.vsite == vsite]
+
+    def peak_queue_depth(self) -> dict[str, int]:
+        """Per-Vsite maximum observed backlog."""
+        out: dict[str, int] = {}
+        for s in self.samples:
+            out[s.vsite] = max(out.get(s.vsite, 0), s.queued)
+        return out
+
+    def mean_utilization(self) -> dict[str, float]:
+        sums: dict[str, list[float]] = {}
+        for s in self.samples:
+            sums.setdefault(s.vsite, []).append(s.utilization)
+        return {v: sum(u) / len(u) for v, u in sums.items()}

@@ -1,0 +1,112 @@
+"""Per-job timelines: what happened when, across all tiers.
+
+Builds a chronological account of one UNICORE job from the data the
+architecture already keeps — outcome timestamps, batch records, and the
+NJS's Codine ledger — and renders it as a text Gantt chart.  This is the
+operational "where did my job spend its time" view the E1 experiment
+aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+from dataclasses import dataclass
+
+from repro.ajo.outcome import AJOOutcome, FileOutcome, Outcome, TaskOutcome
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.server.njs.supervisor import NetworkJobSupervisor
+
+__all__ = ["TimelineEntry", "job_timeline", "render_gantt"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEntry:
+    """One span in a job's life."""
+
+    action_id: str
+    label: str
+    kind: str  # "task" | "file" | "group"
+    start: float
+    end: float
+    status: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _entry_for(outcome: Outcome, label: str, njs=None) -> TimelineEntry | None:
+    start, end = outcome.submitted_at, outcome.completed_at
+    if math.isnan(start) or math.isnan(end):
+        return None
+    kind = "file" if isinstance(outcome, FileOutcome) else "task"
+    return TimelineEntry(
+        action_id=outcome.action_id,
+        label=label,
+        kind=kind,
+        start=start,
+        end=end,
+        status=outcome.status.value,
+    )
+
+
+def job_timeline(njs: "NetworkJobSupervisor", job_id: str) -> list[TimelineEntry]:
+    """Chronological spans of every timed action of one job.
+
+    For tasks that went through the batch tier, the batch record refines
+    the span into queue-wait and execution using the Codine ledger's
+    vendor binding.
+    """
+    run = njs.get_run(job_id)
+    entries: list[TimelineEntry] = []
+    labels = {a.id: a.name for a in run.root.walk()}
+
+    for action_id, outcome in run.outcomes.items():
+        if isinstance(outcome, AJOOutcome):
+            continue
+        label = labels.get(action_id, action_id)
+        if isinstance(outcome, TaskOutcome) and action_id in run.batch_jobs:
+            vsite_name, local_id = run.batch_jobs[action_id]
+            record = njs.vsites[vsite_name].batch.query(local_id)
+            if record.start_time is not None:
+                entries.append(TimelineEntry(
+                    action_id=action_id, label=f"{label} [queued]",
+                    kind="task", start=record.submit_time,
+                    end=record.start_time, status="queued",
+                ))
+            if record.start_time is not None and record.end_time is not None:
+                entries.append(TimelineEntry(
+                    action_id=action_id, label=f"{label} [run@{vsite_name}]",
+                    kind="task", start=record.start_time,
+                    end=record.end_time, status=outcome.status.value,
+                ))
+            continue
+        entry = _entry_for(outcome, label)
+        if entry is not None:
+            entries.append(entry)
+    entries.sort(key=lambda e: (e.start, e.end, e.label))
+    return entries
+
+
+def render_gantt(entries: list[TimelineEntry], width: int = 60) -> str:
+    """A text Gantt chart of the timeline."""
+    if not entries:
+        return "(no timed entries)"
+    t0 = min(e.start for e in entries)
+    t1 = max(e.end for e in entries)
+    span = max(t1 - t0, 1e-9)
+    label_w = max(len(e.label) for e in entries)
+    lines = [
+        f"{'':{label_w}}  t={t0:.1f}s {'.' * (width - 16)} t={t1:.1f}s"
+    ]
+    for e in entries:
+        lo = int((e.start - t0) / span * (width - 1))
+        hi = max(lo + 1, int(round((e.end - t0) / span * (width - 1))))
+        bar = " " * lo + "#" * (hi - lo)
+        lines.append(
+            f"{e.label:{label_w}}  |{bar:<{width}}| {e.duration:9.1f}s "
+            f"{e.status}"
+        )
+    return "\n".join(lines)

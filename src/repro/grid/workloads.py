@@ -1,0 +1,162 @@
+"""Synthetic workload generation.
+
+Two producers:
+
+* :func:`synth_job` — UNICORE jobs with the paper's shapes (imports →
+  compile-link-execute or script task → exports, optional multi-site
+  pipelines), parameterized for the benchmarks;
+* :class:`LocalLoadGenerator` — non-UNICORE batch jobs submitted directly
+  to a Vsite's batch system, modeling the site's own users (experiment
+  E8: UNICORE jobs are "treated the same way any other batch job is
+  treated").
+
+All randomness flows through an injected ``numpy`` generator.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batch.base import BatchJobSpec, BatchSystem
+from repro.client.jpa import JobBuilder, JobPreparationAgent
+from repro.resources.model import ResourceRequest, ResourceSet
+from repro.simkernel import Simulator
+
+__all__ = ["WorkloadProfile", "synth_job", "LocalLoadGenerator"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Distribution parameters for synthetic jobs.
+
+    Runtimes are lognormal (the classic supercomputer-workload shape),
+    CPU counts are powers of two between the bounds.
+    """
+
+    mean_runtime_s: float = 1800.0
+    sigma_runtime: float = 1.0
+    min_cpus: int = 1
+    max_cpus: int = 64
+    #: Ratio of requested time limit to actual runtime (users overask).
+    limit_overask: float = 3.0
+    script_fraction: float = 0.5
+
+    def sample_runtime(self, rng: np.random.Generator) -> float:
+        mu = np.log(self.mean_runtime_s) - self.sigma_runtime**2 / 2
+        return float(rng.lognormal(mu, self.sigma_runtime))
+
+    def sample_cpus(self, rng: np.random.Generator) -> int:
+        lo = max(0, int(np.log2(self.min_cpus)))
+        hi = max(lo, int(np.log2(self.max_cpus)))
+        return int(2 ** rng.integers(lo, hi + 1))
+
+
+def synth_job(
+    jpa: JobPreparationAgent,
+    rng: np.random.Generator,
+    name: str,
+    vsite: str,
+    profile: WorkloadProfile | None = None,
+) -> JobBuilder:
+    """One synthetic single-site job: import → work → export."""
+    profile = profile or WorkloadProfile()
+    builder = jpa.new_job(name, vsite=vsite)
+    runtime = profile.sample_runtime(rng)
+    cpus = profile.sample_cpus(rng)
+    resources = ResourceRequest(
+        cpus=cpus,
+        time_s=max(60.0, runtime * profile.limit_overask),
+        memory_mb=float(64 * cpus),
+    )
+    imp = builder.import_from_xspace(f"/data/{name}/input.dat", "input.dat")
+    if rng.random() < profile.script_fraction:
+        work = builder.script_task(
+            f"{name}-work",
+            script=f"#!/bin/sh\n./application input.dat  # {name}\n",
+            resources=resources,
+            simulated_runtime_s=runtime,
+        )
+    else:
+        _, _, work = builder.compile_link_execute(
+            name,
+            sources=[f"{name}.f90"],
+            executable=f"{name}.exe",
+            run_resources=resources,
+            simulated_runtime_s=runtime,
+        )
+        # The compile needs its source in the uspace.
+        src = builder.import_from_xspace(f"/data/{name}/{name}.f90", f"{name}.f90")
+        first_exec = builder.ajo.tasks()[1]  # the compile task
+        builder.depends(src, first_exec, files=[f"{name}.f90"])
+    exp = builder.export_to_xspace("result.dat", f"/results/{name}.dat")
+    builder.depends(imp, work, files=["input.dat"])
+    builder.depends(work, exp, files=["result.dat"])
+    return builder
+
+
+class LocalLoadGenerator:
+    """Site-local (non-UNICORE) batch load on one machine.
+
+    Poisson arrivals; each job uses the machine's native dialect directly,
+    exactly as the site's own users would.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        batch: BatchSystem,
+        rng: np.random.Generator,
+        arrival_rate_per_s: float,
+        profile: WorkloadProfile | None = None,
+        queue: str = "batch",
+        horizon_s: float = float("inf"),
+    ) -> None:
+        self.sim = sim
+        self.batch = batch
+        self.rng = rng
+        self.arrival_rate = arrival_rate_per_s
+        self.profile = profile or WorkloadProfile()
+        self.queue = queue
+        self.horizon_s = horizon_s
+        self.submitted: list[str] = []
+        sim.process(self._run(), name=f"local-load:{batch.machine.name}")
+
+    def _spec(self, index: int) -> BatchJobSpec:
+        runtime = self.profile.sample_runtime(self.rng)
+        cpus = min(self.profile.sample_cpus(self.rng), self.batch.machine.cpus)
+        resources = ResourceSet(
+            cpus=cpus,
+            time_s=max(60.0, runtime * self.profile.limit_overask),
+            memory_mb=float(
+                min(64 * cpus, self.batch.machine.total_memory_mb)
+            ),
+        )
+        script = self.batch.dialect.render_script(
+            f"local{index}", self.queue, resources, ["./local_app"]
+        )
+        return BatchJobSpec(
+            name=f"local{index}",
+            owner=f"siteuser{index % 17}",
+            queue=self.queue,
+            script=script,
+            resources=resources,
+            wallclock_s=runtime,
+            origin="local",
+        )
+
+    def _run(self):
+        index = 0
+        while self.sim.now < self.horizon_s:
+            gap = float(self.rng.exponential(1.0 / self.arrival_rate))
+            yield self.sim.timeout(gap)
+            if self.sim.now >= self.horizon_s:
+                break
+            index += 1
+            try:
+                self.submitted.append(self.batch.submit(self._spec(index)))
+            except Exception:
+                # Queue-limit rejections are part of life at a real site.
+                continue

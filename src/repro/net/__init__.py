@@ -1,0 +1,34 @@
+"""Simulated wide-area network between UNICORE components.
+
+The paper's components talk over the Internet (https between browser,
+gateway, and peer NJSs; IP sockets across the firewall).  This package
+models that fabric on the simulation kernel:
+
+- :mod:`repro.net.transport` — hosts with mailboxes, point-to-point links
+  with latency, bandwidth, FIFO serialization, and Bernoulli loss;
+- :mod:`repro.net.https` — https-style channels over the transport:
+  certificate handshake round-trips plus per-record framing overhead
+  (what makes bulk NJS-to-NJS transfer slow, experiment E5), and a
+  direct-socket channel as the faster alternative the paper says
+  "UNICORE is working on".
+
+All randomness (loss) derives from a named RNG stream, so runs are
+deterministic.
+"""
+
+from repro.net.errors import ConnectionLost, HostUnreachable, NetworkError
+from repro.net.transport import Host, Link, Message, Network
+from repro.net.https import DirectChannel, HttpsChannel, establish_https
+
+__all__ = [
+    "ConnectionLost",
+    "DirectChannel",
+    "Host",
+    "HostUnreachable",
+    "HttpsChannel",
+    "Link",
+    "Message",
+    "Network",
+    "NetworkError",
+    "establish_https",
+]

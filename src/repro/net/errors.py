@@ -1,0 +1,15 @@
+"""Exceptions for the simulated network."""
+
+__all__ = ["NetworkError", "HostUnreachable", "ConnectionLost"]
+
+
+class NetworkError(Exception):
+    """Base class for simulated-network errors."""
+
+
+class HostUnreachable(NetworkError):
+    """No link exists between the two hosts."""
+
+
+class ConnectionLost(NetworkError):
+    """A message was lost in transit (the sender times out waiting)."""

@@ -1,0 +1,163 @@
+"""The asynchronous protocol client (the paper's design).
+
+Interactions are kept short: one request, one acknowledging reply.  Job
+progress is observed by *polling* with QUERY requests, never by holding a
+connection open.  Lost messages are retried with bounded backoff; because
+each interaction is idempotent at the server (consigns are deduplicated
+by request id), retries are safe.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.errors import ConnectionLost
+from repro.net.https import HttpsChannel
+from repro.net.transport import Host
+from repro.protocol.messages import Reply, Request
+from repro.protocol.retry import RetryExhausted, RetryPolicy
+from repro.simkernel import Event, Simulator
+
+__all__ = ["ReplyRouter", "AsyncProtocolClient"]
+
+
+class ReplyRouter:
+    """Demultiplexes inbound :class:`Reply` messages by request id.
+
+    One router consumes a host's inbox; interaction coroutines register a
+    request id and receive an event that fires with the matching reply.
+    Non-reply messages are passed to ``fallback`` (for hosts that also
+    serve other traffic).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        fallback: typing.Callable[[object], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self._waiting: dict[int, Event] = {}
+        self._fallback = fallback
+        self._process = sim.process(self._run(), name=f"reply-router:{host.name}")
+
+    def expect(self, request_id: int) -> Event:
+        """Event that fires with the :class:`Reply` for ``request_id``."""
+        if request_id in self._waiting:
+            raise ValueError(f"already waiting for request {request_id}")
+        ev = self.sim.event(name=f"reply:{request_id}")
+        self._waiting[request_id] = ev
+        return ev
+
+    def forget(self, request_id: int) -> None:
+        """Stop waiting (used when a retry supersedes an older attempt)."""
+        self._waiting.pop(request_id, None)
+
+    def _run(self):
+        while True:
+            message = yield self.host.receive()
+            payload = message.payload
+            if isinstance(payload, Reply):
+                waiter = self._waiting.pop(payload.request_id, None)
+                if waiter is not None:
+                    waiter.succeed(payload)
+                # Unmatched replies (late duplicates) are dropped.
+            elif self._fallback is not None:
+                self._fallback(payload)
+
+
+class AsyncProtocolClient:
+    """Consign-and-poll over an established https channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: HttpsChannel,
+        router: ReplyRouter,
+        retry: RetryPolicy | None = None,
+        poll_interval_s: float = 30.0,
+        response_timeout_s: float = 60.0,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.router = router
+        self.retry = retry or RetryPolicy()
+        self.poll_interval_s = poll_interval_s
+        self.response_timeout_s = response_timeout_s
+        #: Instrumentation for experiment E4.
+        self.requests_sent = 0
+        self.retries = 0
+
+    # Each public operation is a generator to ``yield from`` inside a
+    # simulation process; it returns the reply payload.
+    def interact(
+        self, request: Request
+    ) -> typing.Generator[Event, object, Reply]:
+        """One short request/reply interaction with retries.
+
+        Raises :class:`RetryExhausted` when the policy gives up, and
+        re-raises server-side errors as-is inside the failed Reply.
+        """
+        last_error: BaseException | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            reply_ev = self.router.expect(request.request_id)
+            self.requests_sent += 1
+            try:
+                yield self.channel.send(request, request.wire_size)
+                # The reply itself may be lost in transit, so race the
+                # expectation against a response timeout.
+                timer = self.sim.timeout(self.response_timeout_s)
+                fired = yield reply_ev | timer
+                if reply_ev in fired:
+                    return typing.cast(Reply, fired[reply_ev])
+                last_error = ConnectionLost(
+                    f"no reply to request {request.request_id} within "
+                    f"{self.response_timeout_s}s"
+                )
+            except ConnectionLost as err:
+                # The request was lost on the way out.
+                last_error = err
+            # Back off and resend the same idempotent request.
+            self.router.forget(request.request_id)
+            self.retries += 1
+            if attempt < self.retry.max_attempts:
+                yield self.sim.timeout(self.retry.delay_for(attempt))
+        assert last_error is not None
+        raise RetryExhausted(self.retry.max_attempts, last_error)
+
+    def consign(
+        self, ajo_bytes: bytes, user_dn: str, vsite: str = ""
+    ) -> typing.Generator[Event, object, Reply]:
+        """Consign a job; returns the acknowledgement reply (job id inside)."""
+        request = Request(
+            kind="consign_job", user_dn=user_dn, payload=ajo_bytes, vsite=vsite
+        )
+        reply = yield from self.interact(request)
+        return reply
+
+    def query(
+        self, query_bytes: bytes, user_dn: str
+    ) -> typing.Generator[Event, object, Reply]:
+        request = Request(kind="query", user_dn=user_dn, payload=query_bytes)
+        reply = yield from self.interact(request)
+        return reply
+
+    def poll_until(
+        self,
+        make_query: typing.Callable[[], bytes],
+        user_dn: str,
+        is_done: typing.Callable[[Reply], bool],
+        max_polls: int = 10_000,
+    ) -> typing.Generator[Event, object, Reply]:
+        """Poll with fresh QUERY requests until ``is_done(reply)``.
+
+        This is the paper's asynchronous monitoring pattern: many short
+        interactions instead of one long-held connection.
+        """
+        for _ in range(max_polls):
+            reply = yield from self.query(make_query(), user_dn)
+            if is_done(reply):
+                return reply
+            yield self.sim.timeout(self.poll_interval_s)
+        raise RetryExhausted(max_polls, TimeoutError("job never reached a terminal state"))

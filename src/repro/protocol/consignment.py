@@ -1,0 +1,45 @@
+"""The consignment payload: an AJO plus its workstation files.
+
+Section 5.6: "Files from the user's workstation needed in a job are put
+into the AJO.  They are transferred together with the job to a UNICORE
+server on the https connection."  The consignment envelope carries the
+encoded AJO and those files in one payload.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.ajo.errors import SerializationError
+
+__all__ = ["encode_consignment", "decode_consignment"]
+
+
+def encode_consignment(ajo_bytes: bytes, files: dict[str, bytes] | None = None) -> bytes:
+    """Bundle an encoded AJO with workstation file contents."""
+    envelope = {
+        "unicore_consignment": 1,
+        "ajo": base64.b64encode(ajo_bytes).decode("ascii"),
+        "files": {
+            path: base64.b64encode(content).decode("ascii")
+            for path, content in sorted((files or {}).items())
+        },
+    }
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_consignment(data: bytes) -> tuple[bytes, dict[str, bytes]]:
+    """Unbundle; returns ``(ajo_bytes, files)``."""
+    try:
+        envelope = json.loads(data)
+        if envelope.get("unicore_consignment") != 1:
+            raise ValueError("bad consignment version")
+        ajo_bytes = base64.b64decode(envelope["ajo"], validate=True)
+        files = {
+            path: base64.b64decode(content, validate=True)
+            for path, content in envelope["files"].items()
+        }
+    except (ValueError, KeyError, TypeError) as err:
+        raise SerializationError(f"malformed consignment: {err}") from err
+    return ajo_bytes, files

@@ -1,0 +1,46 @@
+"""Bounded retry with backoff for protocol interactions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "RetryExhausted"]
+
+
+class RetryExhausted(Exception):
+    """All attempts failed; carries the last underlying error."""
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(f"gave up after {attempts} attempts: {last_error}")
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to retry a lost protocol message, and how patiently.
+
+    ``delay_for(attempt)`` gives the pause before retry number ``attempt``
+    (1-based), growing geometrically and capped.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 1.0
+    backoff_factor: float = 2.0
+    max_delay_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    def delay_for(self, attempt: int) -> float:
+        if attempt < 1:
+            raise ValueError("attempt numbering is 1-based")
+        return min(
+            self.base_delay_s * self.backoff_factor ** (attempt - 1),
+            self.max_delay_s,
+        )

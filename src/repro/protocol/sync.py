@@ -1,0 +1,122 @@
+"""A synchronous hold-the-connection client: the E4 comparison baseline.
+
+The paper argues (section 5.3) that an asynchronous protocol "is more
+robust than a synchronous protocol.  By minimizing the length of time
+that an interaction takes the asynchronous protocol protects against any
+unreliability of the underlying communication mechanism."
+
+To *measure* that claim we need the alternative the designers rejected: a
+client that consigns a job and holds the connection open — exchanging a
+keepalive every few seconds — until the result comes back.  If any
+message of the interaction is lost, the whole interaction is broken and
+must restart from scratch (resubmitting the job).  The interaction
+length scales with job duration, so its survival probability collapses
+as loss rates or job runtimes grow.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.errors import ConnectionLost
+from repro.net.https import HttpsChannel
+from repro.protocol.messages import Reply, Request
+from repro.protocol.retry import RetryExhausted, RetryPolicy
+from repro.simkernel import Event, Simulator
+
+__all__ = ["SyncProtocolClient", "SyncInteractionBroken"]
+
+KEEPALIVE_BYTES = 64
+
+
+class SyncInteractionBroken(Exception):
+    """The held connection broke mid-interaction; everything is lost."""
+
+
+class SyncProtocolClient:
+    """Submit-and-hold: one interaction spans the job's whole lifetime."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: HttpsChannel,
+        retry: RetryPolicy | None = None,
+        keepalive_interval_s: float = 5.0,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.retry = retry or RetryPolicy()
+        self.keepalive_interval_s = keepalive_interval_s
+        #: Instrumentation for experiment E4.
+        self.interactions_started = 0
+        self.interactions_broken = 0
+
+    def submit_and_hold(
+        self,
+        ajo_bytes: bytes,
+        user_dn: str,
+        job_duration_s: float,
+        result_size_bytes: int = 4096,
+    ) -> typing.Generator[Event, object, Reply]:
+        """One full synchronous interaction, retried whole on breakage.
+
+        The model: consign travels to the server; the connection then
+        carries a keepalive each ``keepalive_interval_s`` for the job's
+        duration; finally the result travels back.  *Any* lost message
+        breaks the interaction (state on both sides is discarded, as with
+        a broken TCP connection), and the retry resubmits from zero.
+        """
+        last_error: BaseException | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            self.interactions_started += 1
+            try:
+                reply = yield from self._one_interaction(
+                    ajo_bytes, user_dn, job_duration_s, result_size_bytes
+                )
+                return reply
+            except SyncInteractionBroken as err:
+                self.interactions_broken += 1
+                last_error = err
+                if attempt < self.retry.max_attempts:
+                    yield self.sim.timeout(self.retry.delay_for(attempt))
+        assert last_error is not None
+        raise RetryExhausted(self.retry.max_attempts, last_error)
+
+    def _one_interaction(
+        self,
+        ajo_bytes: bytes,
+        user_dn: str,
+        job_duration_s: float,
+        result_size_bytes: int,
+    ) -> typing.Generator[Event, object, Reply]:
+        request = Request(kind="consign_job", user_dn=user_dn, payload=ajo_bytes)
+        try:
+            # Consign travels to the server.
+            yield self.channel.send(request, request.wire_size, deliver=False)
+            # Hold the connection for the job's lifetime.
+            elapsed = 0.0
+            while elapsed < job_duration_s:
+                step = min(self.keepalive_interval_s, job_duration_s - elapsed)
+                yield self.sim.timeout(step)
+                elapsed += step
+                yield self.channel.send(
+                    ("keepalive", request.request_id), KEEPALIVE_BYTES, deliver=False
+                )
+                yield self.channel.send(
+                    ("keepalive-ack", request.request_id),
+                    KEEPALIVE_BYTES,
+                    to_server=False,
+                    deliver=False,
+                )
+            # Result travels back on the same connection.
+            yield self.channel.send(
+                ("result", request.request_id),
+                result_size_bytes,
+                to_server=False,
+                deliver=False,
+            )
+        except ConnectionLost as err:
+            raise SyncInteractionBroken(
+                f"held connection broke after {self.sim.now:.1f}s: {err}"
+            ) from err
+        return Reply(request_id=request.request_id, ok=True, payload=b"result")

@@ -1,0 +1,149 @@
+"""A minimal ASN.1 DER-style encoder/decoder.
+
+Paper section 5.4: the resource page "is stored in ASN1 format for the
+JPA to include it into the GUI".  This module implements the small subset
+of DER (definite-length, tag-length-value) needed to serialize resource
+pages: booleans, integers, reals (as ISO-6093 decimal strings, the way
+ASN.1 REAL base-10 works), UTF-8 strings, nulls, sequences, and maps
+(encoded as a sequence of key/value pairs).
+
+The encoding round-trips arbitrarily nested Python structures built from
+``bool``, ``int``, ``float``, ``str``, ``None``, ``list`` and ``dict``
+(string keys).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.resources.errors import ResourcePageError
+
+__all__ = ["encode", "decode"]
+
+# DER universal tags (SEQUENCE with constructed bit set).
+_TAG_BOOL = 0x01
+_TAG_INT = 0x02
+_TAG_NULL = 0x05
+_TAG_REAL = 0x09
+_TAG_UTF8 = 0x0C
+_TAG_SEQ = 0x30
+# Private tag for maps (context-specific, constructed).
+_TAG_MAP = 0xA0
+
+Value = typing.Union[bool, int, float, str, None, list, dict]
+
+
+def _encode_length(n: int) -> bytes:
+    """DER definite-length encoding."""
+    if n < 0x80:
+        return bytes([n])
+    body = n.to_bytes((n.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+def _tlv(tag: int, content: bytes) -> bytes:
+    return bytes([tag]) + _encode_length(len(content)) + content
+
+
+def encode(value: Value) -> bytes:
+    """Encode ``value`` into DER-style bytes."""
+    # bool must be tested before int (bool is a subclass of int).
+    if value is None:
+        return _tlv(_TAG_NULL, b"")
+    if isinstance(value, bool):
+        return _tlv(_TAG_BOOL, b"\xff" if value else b"\x00")
+    if isinstance(value, int):
+        length = max(1, (value.bit_length() + 8) // 8)  # room for sign bit
+        return _tlv(_TAG_INT, value.to_bytes(length, "big", signed=True))
+    if isinstance(value, float):
+        # ASN.1 REAL, base-10 form (ISO 6093 NR3): decimal text.
+        return _tlv(_TAG_REAL, repr(value).encode("ascii"))
+    if isinstance(value, str):
+        return _tlv(_TAG_UTF8, value.encode("utf-8"))
+    if isinstance(value, list):
+        return _tlv(_TAG_SEQ, b"".join(encode(v) for v in value))
+    if isinstance(value, dict):
+        parts = []
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ResourcePageError(f"map keys must be strings, got {key!r}")
+            parts.append(encode(key))
+            parts.append(encode(value[key]))
+        return _tlv(_TAG_MAP, b"".join(parts))
+    raise ResourcePageError(f"cannot ASN.1-encode {type(value).__name__}")
+
+
+def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+    """Return (length, offset-after-length-octets)."""
+    if offset >= len(data):
+        raise ResourcePageError("truncated ASN.1: missing length")
+    first = data[offset]
+    offset += 1
+    if first < 0x80:
+        return first, offset
+    n_octets = first & 0x7F
+    if n_octets == 0 or offset + n_octets > len(data):
+        raise ResourcePageError("truncated or indefinite ASN.1 length")
+    return int.from_bytes(data[offset : offset + n_octets], "big"), offset + n_octets
+
+
+def _decode_at(data: bytes, offset: int) -> tuple[Value, int]:
+    if offset >= len(data):
+        raise ResourcePageError("truncated ASN.1: missing tag")
+    tag = data[offset]
+    length, body_start = _read_length(data, offset + 1)
+    body_end = body_start + length
+    if body_end > len(data):
+        raise ResourcePageError("truncated ASN.1: content shorter than length")
+    body = data[body_start:body_end]
+
+    if tag == _TAG_NULL:
+        if body:
+            raise ResourcePageError("NULL with non-empty content")
+        return None, body_end
+    if tag == _TAG_BOOL:
+        if len(body) != 1:
+            raise ResourcePageError("BOOLEAN must be one octet")
+        return body != b"\x00", body_end
+    if tag == _TAG_INT:
+        if not body:
+            raise ResourcePageError("INTEGER with empty content")
+        return int.from_bytes(body, "big", signed=True), body_end
+    if tag == _TAG_REAL:
+        try:
+            return float(body.decode("ascii")), body_end
+        except (UnicodeDecodeError, ValueError) as err:
+            raise ResourcePageError(f"malformed REAL: {err}") from err
+    if tag == _TAG_UTF8:
+        try:
+            return body.decode("utf-8"), body_end
+        except UnicodeDecodeError as err:
+            raise ResourcePageError(f"malformed UTF8String: {err}") from err
+    if tag == _TAG_SEQ:
+        items = []
+        pos = 0
+        while pos < len(body):
+            item, pos = _decode_at(body, pos)
+            items.append(item)
+        return items, body_end
+    if tag == _TAG_MAP:
+        result: dict[str, Value] = {}
+        pos = 0
+        while pos < len(body):
+            key, pos = _decode_at(body, pos)
+            if pos >= len(body):
+                raise ResourcePageError("map with dangling key")
+            if not isinstance(key, str):
+                raise ResourcePageError(f"map key must decode to str, got {key!r}")
+            val, pos = _decode_at(body, pos)
+            result[key] = val
+        return result, body_end
+    raise ResourcePageError(f"unknown ASN.1 tag {tag:#04x}")
+
+
+def decode(data: bytes) -> Value:
+    """Decode DER-style bytes produced by :func:`encode`."""
+    value, end = _decode_at(data, 0)
+    if end != len(data):
+        raise ResourcePageError(f"{len(data) - end} trailing bytes after ASN.1 value")
+    return value

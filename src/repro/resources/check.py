@@ -1,0 +1,71 @@
+"""Request-versus-page validation.
+
+The JPA uses the resource page "supporting the user in creating a job
+suitable for the selected destination system" (paper section 5.4) — i.e.
+it checks resource requests against the page before consigning, and the
+NJS re-checks on arrival (defense in depth: the page the client saw may
+be stale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resources.model import RESOURCE_AXES, ResourceRequest
+from repro.resources.page import ResourcePage
+
+__all__ = ["ResourceCheckResult", "check_request"]
+
+
+@dataclass(slots=True)
+class ResourceCheckResult:
+    """Outcome of checking a request against a page."""
+
+    vsite: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"request acceptable at {self.vsite}"
+        return f"request rejected at {self.vsite}: " + "; ".join(self.violations)
+
+
+def check_request(
+    page: ResourcePage,
+    request: ResourceRequest,
+    required_software: list[tuple[str, str]] | None = None,
+) -> ResourceCheckResult:
+    """Check every axis of ``request`` against ``page`` limits.
+
+    Parameters
+    ----------
+    required_software:
+        Optional ``(kind, name)`` pairs the job needs (e.g.
+        ``[("compiler", "f90")]`` for a compile task).
+
+    Returns a result listing *all* violations, not just the first — the
+    JPA shows them to the user together.
+    """
+    result = ResourceCheckResult(vsite=page.vsite)
+    for axis in RESOURCE_AXES:
+        value = getattr(request, axis)
+        rng = page.ranges[axis]
+        if value < rng.minimum:
+            result.violations.append(
+                f"{axis}={value} below minimum {rng.minimum}"
+            )
+        elif value > rng.maximum:
+            result.violations.append(
+                f"{axis}={value} above maximum {rng.maximum}"
+            )
+    for kind, name in required_software or []:
+        if not page.software.has(kind, name):
+            result.violations.append(f"missing {kind} {name!r}")
+    return result

@@ -1,0 +1,114 @@
+"""The resource-page editor used by UNICORE site administrators.
+
+Paper section 5.4: "This information is prepared by a UNICORE site
+administrator through a resource page editor."  The editor is a builder
+with validation at every step; :meth:`ResourcePageEditor.publish` yields
+the immutable page (and its ASN.1 bytes) handed to the gateway for
+distribution to JPAs.
+"""
+
+from __future__ import annotations
+
+from repro.resources.errors import ResourcePageError
+from repro.resources.model import RESOURCE_AXES, ResourceRange
+from repro.resources.page import ResourcePage
+from repro.resources.software import SoftwareCatalogue, SoftwareItem, SoftwareKind
+
+__all__ = ["ResourcePageEditor"]
+
+
+class ResourcePageEditor:
+    """Stepwise construction of a :class:`ResourcePage`."""
+
+    def __init__(self, vsite: str) -> None:
+        if not vsite:
+            raise ResourcePageError("editor requires a vsite name")
+        self._vsite = vsite
+        self._architecture = ""
+        self._operating_system = ""
+        self._peak_gflops = 0.0
+        self._ranges: dict[str, ResourceRange] = {}
+        self._software = SoftwareCatalogue()
+
+    # -- system identification ------------------------------------------------
+    def set_system(
+        self, architecture: str, operating_system: str, peak_gflops: float
+    ) -> "ResourcePageEditor":
+        if not architecture or not operating_system:
+            raise ResourcePageError("architecture and OS must be non-empty")
+        if peak_gflops <= 0:
+            raise ResourcePageError("peak_gflops must be positive")
+        self._architecture = architecture
+        self._operating_system = operating_system
+        self._peak_gflops = float(peak_gflops)
+        return self
+
+    # -- resource limits ---------------------------------------------------------
+    def set_range(
+        self, axis: str, minimum: float, maximum: float
+    ) -> "ResourcePageEditor":
+        if axis not in RESOURCE_AXES:
+            raise ResourcePageError(
+                f"unknown resource axis {axis!r}; valid: {RESOURCE_AXES}"
+            )
+        self._ranges[axis] = ResourceRange(minimum=minimum, maximum=maximum)
+        return self
+
+    # -- software ------------------------------------------------------------------
+    def add_compiler(
+        self, name: str, version: str = "", invocation: str = ""
+    ) -> "ResourcePageEditor":
+        self._software.add(
+            SoftwareItem(
+                kind=SoftwareKind.COMPILER,
+                name=name,
+                version=version,
+                invocation=invocation or name,
+            )
+        )
+        return self
+
+    def add_library(self, name: str, version: str = "") -> "ResourcePageEditor":
+        self._software.add(
+            SoftwareItem(kind=SoftwareKind.LIBRARY, name=name, version=version)
+        )
+        return self
+
+    def add_package(
+        self, name: str, version: str = "", invocation: str = ""
+    ) -> "ResourcePageEditor":
+        self._software.add(
+            SoftwareItem(
+                kind=SoftwareKind.PACKAGE,
+                name=name,
+                version=version,
+                invocation=invocation or name,
+            )
+        )
+        return self
+
+    # -- publication -----------------------------------------------------------------
+    def publish(self) -> ResourcePage:
+        """Validate completeness and produce the immutable page."""
+        if not self._architecture:
+            raise ResourcePageError(
+                f"page for {self._vsite!r} lacks system identification; "
+                "call set_system() first"
+            )
+        missing = set(RESOURCE_AXES) - set(self._ranges)
+        if missing:
+            raise ResourcePageError(
+                f"page for {self._vsite!r} lacks ranges for {sorted(missing)}"
+            )
+        return ResourcePage(
+            vsite=self._vsite,
+            architecture=self._architecture,
+            operating_system=self._operating_system,
+            peak_gflops=self._peak_gflops,
+            ranges=dict(self._ranges),
+            software=self._software,
+        )
+
+    def publish_asn1(self) -> bytes:
+        """Publish and encode in one step (what actually ships to the JPA)."""
+        return self.publish().to_asn1()

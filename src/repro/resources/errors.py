@@ -1,0 +1,15 @@
+"""Exceptions for the resource-description model."""
+
+__all__ = ["ResourceError", "ResourcePageError", "ResourceRequestError"]
+
+
+class ResourceError(Exception):
+    """Base class for resource-model errors."""
+
+
+class ResourcePageError(ResourceError):
+    """A resource page is malformed or cannot be encoded/decoded."""
+
+
+class ResourceRequestError(ResourceError):
+    """A resource request is invalid or violates the target page's limits."""

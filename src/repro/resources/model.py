@@ -1,0 +1,98 @@
+"""Resource quantities: sets, requests, and ranges.
+
+The paper (section 5.4): "UNICORE supports resource requests for the
+number of CPUs (or processor elements), the amount of execution time, the
+amount of memory, and the amount of disk space needed, both permanent and
+temporary."  Those five quantities are the axes of everything here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.resources.errors import ResourceRequestError
+
+__all__ = ["ResourceSet", "ResourceRequest", "ResourceRange", "RESOURCE_AXES"]
+
+#: The five resource axes of the UNICORE model, in canonical order.
+RESOURCE_AXES = (
+    "cpus",
+    "time_s",
+    "memory_mb",
+    "disk_permanent_mb",
+    "disk_temporary_mb",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceSet:
+    """A concrete quantity on each of the five resource axes."""
+
+    cpus: int = 1
+    time_s: float = 3600.0
+    memory_mb: float = 128.0
+    disk_permanent_mb: float = 0.0
+    disk_temporary_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpus < 0:
+            raise ResourceRequestError("cpus must be non-negative")
+        for axis in ("time_s", "memory_mb", "disk_permanent_mb", "disk_temporary_mb"):
+            if getattr(self, axis) < 0:
+                raise ResourceRequestError(f"{axis} must be non-negative")
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __add__(self, other: "ResourceSet") -> "ResourceSet":
+        return ResourceSet(
+            cpus=self.cpus + other.cpus,
+            time_s=max(self.time_s, other.time_s),
+            memory_mb=self.memory_mb + other.memory_mb,
+            disk_permanent_mb=self.disk_permanent_mb + other.disk_permanent_mb,
+            disk_temporary_mb=self.disk_temporary_mb + other.disk_temporary_mb,
+        )
+
+    def fits_within(self, other: "ResourceSet") -> bool:
+        """True if every axis of self is ≤ the corresponding axis of other."""
+        return all(
+            getattr(self, axis) <= getattr(other, axis) for axis in RESOURCE_AXES
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRequest(ResourceSet):
+    """What the user asks for during job preparation in the JPA.
+
+    Identical axes to :class:`ResourceSet`; the distinct type records
+    *intent* (a demand, not an endowment) at API boundaries.
+    """
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ResourceRequest":
+        unknown = set(d) - set(RESOURCE_AXES)
+        if unknown:
+            raise ResourceRequestError(f"unknown resource axes {sorted(unknown)}")
+        return cls(**{k: (int(v) if k == "cpus" else float(v)) for k, v in d.items()})
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRange:
+    """Inclusive [minimum, maximum] bounds for one resource axis."""
+
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ResourceRequestError("range minimum must be non-negative")
+        if self.maximum < self.minimum:
+            raise ResourceRequestError(
+                f"range maximum {self.maximum} below minimum {self.minimum}"
+            )
+
+    def contains(self, value: float) -> bool:
+        return self.minimum <= value <= self.maximum
+
+    def clamp(self, value: float) -> float:
+        return min(max(value, self.minimum), self.maximum)

@@ -1,0 +1,95 @@
+"""Software resources: compilers, libraries, and program packages.
+
+Paper section 5.4: the resource model "contains the main resources a user
+needs for batch job specification and information about available
+software (compilers, libraries, program packages)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resources.errors import ResourcePageError
+
+__all__ = ["SoftwareKind", "SoftwareItem", "SoftwareCatalogue"]
+
+
+class SoftwareKind:
+    """The three software categories of the paper's resource model."""
+
+    COMPILER = "compiler"
+    LIBRARY = "library"
+    PACKAGE = "package"
+
+    ALL = (COMPILER, LIBRARY, PACKAGE)
+
+
+@dataclass(frozen=True, slots=True)
+class SoftwareItem:
+    """One installed software item, e.g. ``compiler f90 3.1``.
+
+    ``invocation`` is the site-local command the translation tables map
+    abstract tasks onto (e.g. ``f90`` on the T3E but ``xlf90`` on the SP-2).
+    """
+
+    kind: str
+    name: str
+    version: str = ""
+    invocation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SoftwareKind.ALL:
+            raise ResourcePageError(f"unknown software kind {self.kind!r}")
+        if not self.name:
+            raise ResourcePageError("software item needs a name")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.kind, self.name)
+
+
+class SoftwareCatalogue:
+    """The software installed at one Vsite, queryable by kind and name."""
+
+    def __init__(self, items: list[SoftwareItem] | None = None) -> None:
+        self._items: dict[tuple[str, str], SoftwareItem] = {}
+        for item in items or []:
+            self.add(item)
+
+    def add(self, item: SoftwareItem) -> None:
+        if item.key in self._items:
+            raise ResourcePageError(
+                f"duplicate software item {item.kind}/{item.name}"
+            )
+        self._items[item.key] = item
+
+    def has(self, kind: str, name: str) -> bool:
+        return (kind, name) in self._items
+
+    def get(self, kind: str, name: str) -> SoftwareItem:
+        try:
+            return self._items[(kind, name)]
+        except KeyError:
+            raise ResourcePageError(
+                f"no {kind} named {name!r} in catalogue"
+            ) from None
+
+    def compilers(self) -> list[SoftwareItem]:
+        return self.by_kind(SoftwareKind.COMPILER)
+
+    def by_kind(self, kind: str) -> list[SoftwareItem]:
+        return sorted(
+            (i for i in self._items.values() if i.kind == kind),
+            key=lambda i: i.name,
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(sorted(self._items.values(), key=lambda i: i.key))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SoftwareCatalogue):
+            return NotImplemented
+        return self._items == other._items

@@ -1,0 +1,69 @@
+"""Security substrate: toy PKI reproducing UNICORE's security architecture.
+
+The paper's security architecture (sections 4 and 5.2) rests on https/SSL
+with X.509v3 certificates for *users*, *servers*, and *software* (signed
+applets), issued by a Certificate Authority, plus a per-site user database
+(UUDB) that maps a certificate's distinguished name to the local login.
+
+This package implements every piece from scratch:
+
+- :mod:`repro.security.numbertheory` — Miller–Rabin primality, modular
+  inverse, deterministic prime generation;
+- :mod:`repro.security.rsa` — RSA key generation and SHA-256 based
+  sign/verify (textbook RSA with a fixed-pad scheme: real signatures,
+  small keys, no pretension of production cryptography);
+- :mod:`repro.security.x509` — certificates with subject/issuer DNs,
+  validity windows, serials, and extensions;
+- :mod:`repro.security.ca` — certificate authority, chains, revocation;
+- :mod:`repro.security.applet` — signed software bundles with manifest
+  hashing (tamper detection, paper section 5.2);
+- :mod:`repro.security.ssl` — an SSL-style mutual-authentication
+  handshake producing sessions with integrity-protected records;
+- :mod:`repro.security.uudb` — the UNICORE user database: DN → local
+  uid/gid mapping maintained by each site administration.
+"""
+
+from repro.security.errors import (
+    AuthenticationError,
+    CertificateError,
+    CertificateExpired,
+    CertificateRevoked,
+    MappingError,
+    SignatureInvalid,
+    TamperedBundleError,
+    UntrustedIssuer,
+)
+from repro.security.rsa import RSAKeyPair, RSAPublicKey, sign, verify
+from repro.security.x509 import Certificate, DistinguishedName, Validity
+from repro.security.ca import CertificateAuthority, CertificateStore
+from repro.security.applet import AppletBundle, SignedApplet, sign_applet, verify_applet
+from repro.security.ssl import SSLSession, ssl_handshake
+from repro.security.uudb import UUDB, UserMapping
+
+__all__ = [
+    "AppletBundle",
+    "AuthenticationError",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "CertificateExpired",
+    "CertificateRevoked",
+    "CertificateStore",
+    "DistinguishedName",
+    "MappingError",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "SSLSession",
+    "SignatureInvalid",
+    "SignedApplet",
+    "TamperedBundleError",
+    "UUDB",
+    "UntrustedIssuer",
+    "UserMapping",
+    "Validity",
+    "sign",
+    "sign_applet",
+    "ssl_handshake",
+    "verify",
+    "verify_applet",
+]

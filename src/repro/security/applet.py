@@ -1,0 +1,107 @@
+"""Signed applet bundles.
+
+In the paper (sections 4.1, 5.2) the GUI software — the Job Preparation
+Agent and Job Monitor Controller — is delivered as *signed Java applets*:
+"The applet certificate is checked to assure the user that the software
+has not been tampered with and can be trusted."
+
+An :class:`AppletBundle` is a named set of files (name → bytes); signing
+produces a manifest of per-file SHA-256 digests plus an RSA signature over
+the manifest by a *software* certificate's key.  Verification re-hashes
+every file and fails on any added, removed, or modified byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.security.errors import SignatureInvalid, TamperedBundleError
+from repro.security.rsa import RSAKeyPair, verify
+from repro.security.x509 import Certificate, CertificateRole
+
+__all__ = ["AppletBundle", "SignedApplet", "sign_applet", "verify_applet"]
+
+
+@dataclass(slots=True)
+class AppletBundle:
+    """A software bundle: applet name, version, and its class files."""
+
+    name: str
+    version: str
+    files: dict[str, bytes] = field(default_factory=dict)
+
+    def add_file(self, path: str, content: bytes) -> None:
+        if path in self.files:
+            raise ValueError(f"duplicate file {path!r} in bundle")
+        self.files[path] = content
+
+    @property
+    def total_size(self) -> int:
+        return sum(len(c) for c in self.files.values())
+
+    def manifest(self) -> dict:
+        """Per-file SHA-256 digests plus bundle identity."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "files": {
+                path: hashlib.sha256(content).hexdigest()
+                for path, content in sorted(self.files.items())
+            },
+        }
+
+    def manifest_bytes(self) -> bytes:
+        return json.dumps(self.manifest(), sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(slots=True)
+class SignedApplet:
+    """A bundle plus the developer's certificate and manifest signature."""
+
+    bundle: AppletBundle
+    signer_certificate: Certificate
+    signature: int
+
+    @property
+    def name(self) -> str:
+        return self.bundle.name
+
+
+def sign_applet(
+    bundle: AppletBundle, certificate: Certificate, keypair: RSAKeyPair
+) -> SignedApplet:
+    """Sign ``bundle`` with a *software*-role certificate's key."""
+    if certificate.role != CertificateRole.SOFTWARE:
+        raise SignatureInvalid(
+            f"applets must be signed by a software certificate, got role "
+            f"{certificate.role!r}"
+        )
+    if certificate.public_key != keypair.public:
+        raise SignatureInvalid("certificate does not certify the signing key")
+    return SignedApplet(
+        bundle=bundle,
+        signer_certificate=certificate,
+        signature=keypair.sign(bundle.manifest_bytes()),
+    )
+
+
+def verify_applet(applet: SignedApplet) -> None:
+    """Verify bundle integrity; raises :class:`TamperedBundleError`.
+
+    Note this checks the *signature over the manifest* computed from the
+    bundle's current content, so any file change invalidates it.  Trust in
+    the signer certificate itself is established separately via
+    :class:`~repro.security.ca.CertificateStore` (the browser does both).
+    """
+    try:
+        verify(
+            applet.signer_certificate.public_key,
+            applet.bundle.manifest_bytes(),
+            applet.signature,
+        )
+    except SignatureInvalid as err:
+        raise TamperedBundleError(
+            f"applet {applet.name!r} failed integrity verification: {err}"
+        ) from err

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the security substrate."""
+
+__all__ = [
+    "SecurityError",
+    "CertificateError",
+    "CertificateExpired",
+    "CertificateRevoked",
+    "UntrustedIssuer",
+    "SignatureInvalid",
+    "TamperedBundleError",
+    "AuthenticationError",
+    "MappingError",
+]
+
+
+class SecurityError(Exception):
+    """Base class for everything that can go wrong in the security layer."""
+
+
+class CertificateError(SecurityError):
+    """A certificate is malformed or fails validation."""
+
+
+class CertificateExpired(CertificateError):
+    """The certificate is outside its validity window."""
+
+
+class CertificateRevoked(CertificateError):
+    """The certificate appears on the issuing CA's revocation list."""
+
+
+class UntrustedIssuer(CertificateError):
+    """No trusted CA vouches for this certificate."""
+
+
+class SignatureInvalid(SecurityError):
+    """A digital signature does not verify against the claimed key."""
+
+
+class TamperedBundleError(SecurityError):
+    """A signed applet bundle's content does not match its signed manifest."""
+
+
+class AuthenticationError(SecurityError):
+    """Mutual authentication (SSL handshake) failed."""
+
+
+class MappingError(SecurityError):
+    """The UUDB has no entry mapping this distinguished name to a local uid."""

@@ -1,0 +1,170 @@
+"""SSL-style mutual authentication handshake and session records.
+
+The paper (section 4.1): "During the SSL handshake between the UNICORE
+server and the user's Web browser the server first presents its X.509
+certificate to the browser in order to be validated.  Then the user's
+certificate is given to the Web server for user authentication."
+
+:func:`ssl_handshake` reproduces exactly that sequence against two
+:class:`~repro.security.ca.CertificateStore` trust stores and yields a
+pair of :class:`SSLSession` endpoints sharing a derived session key.
+Records are integrity-protected with HMAC-SHA256 — enough to model
+tampering and to account for the per-record byte overhead that experiment
+E5 measures on bulk NJS-to-NJS transfers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.security.ca import CertificateStore
+from repro.security.errors import AuthenticationError, CertificateError
+from repro.security.rsa import RSAKeyPair
+from repro.security.x509 import Certificate
+
+__all__ = ["SSLSession", "ssl_handshake", "HANDSHAKE_ROUND_TRIPS", "RECORD_OVERHEAD"]
+
+#: Network round trips an SSL handshake costs (ClientHello/ServerHello+cert,
+#: client cert + key exchange, finished) — used by the net layer to model
+#: handshake latency.
+HANDSHAKE_ROUND_TRIPS = 2
+
+#: Bytes of framing + MAC added to every record (5-byte header + 32-byte MAC).
+RECORD_OVERHEAD = 37
+
+#: Maximum plaintext bytes per record (as in TLS).
+MAX_RECORD_PAYLOAD = 16384
+
+
+class _Endpoint:
+    """One side of an established session: seals and opens records."""
+
+    def __init__(self, key: bytes, peer: Certificate) -> None:
+        self._key = key
+        #: The authenticated peer certificate (the other side's identity).
+        self.peer_certificate = peer
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def seal(self, payload: bytes) -> bytes:
+        """Wrap ``payload`` into an integrity-protected record."""
+        if len(payload) > MAX_RECORD_PAYLOAD:
+            raise ValueError(
+                f"record payload {len(payload)} exceeds {MAX_RECORD_PAYLOAD}; "
+                "fragment at a higher layer"
+            )
+        header = b"\x17\x03\x03" + len(payload).to_bytes(2, "big")
+        mac = hmac.new(
+            self._key, self._send_seq.to_bytes(8, "big") + header + payload,
+            hashlib.sha256,
+        ).digest()
+        self._send_seq += 1
+        return header + payload + mac
+
+    def open(self, record: bytes) -> bytes:
+        """Unwrap a record; raises :class:`AuthenticationError` on tampering."""
+        if len(record) < 5 + 32:
+            raise AuthenticationError("record too short")
+        header, rest = record[:5], record[5:]
+        length = int.from_bytes(header[3:5], "big")
+        payload, mac = rest[:length], rest[length:]
+        if len(payload) != length or len(mac) != 32:
+            raise AuthenticationError("record framing corrupt")
+        expected = hmac.new(
+            self._key, self._recv_seq.to_bytes(8, "big") + header + payload,
+            hashlib.sha256,
+        ).digest()
+        if not hmac.compare_digest(mac, expected):
+            raise AuthenticationError("record MAC mismatch (tampered or replayed)")
+        self._recv_seq += 1
+        return payload
+
+
+@dataclass(slots=True)
+class SSLSession:
+    """An established mutually-authenticated session (both endpoints)."""
+
+    client: _Endpoint
+    server: _Endpoint
+    established_at: float
+
+    @staticmethod
+    def record_count(nbytes: int) -> int:
+        """Number of records needed to carry ``nbytes`` of payload."""
+        return max(1, -(-nbytes // MAX_RECORD_PAYLOAD))
+
+    @staticmethod
+    def wire_bytes(nbytes: int) -> int:
+        """Total bytes on the wire for ``nbytes`` of payload (framing included)."""
+        return nbytes + SSLSession.record_count(nbytes) * RECORD_OVERHEAD
+
+
+def _derive_key(
+    client_cert: Certificate, server_cert: Certificate, nonce: bytes
+) -> bytes:
+    material = (
+        client_cert.tbs_bytes() + server_cert.tbs_bytes() + nonce
+    )
+    return hashlib.sha256(material).digest()
+
+
+def ssl_handshake(
+    *,
+    client_cert: Certificate,
+    client_key: RSAKeyPair,
+    server_cert: Certificate,
+    server_key: RSAKeyPair,
+    client_store: CertificateStore,
+    server_store: CertificateStore,
+    now: float,
+    nonce: bytes = b"",
+) -> SSLSession:
+    """Perform the mutual-authentication handshake of the paper.
+
+    Order matches section 4.1: the *server* certificate is validated by
+    the client first; only then is the *client* (user) certificate sent
+    and validated by the server.  Each side also proves key possession by
+    signing the handshake transcript.
+
+    Raises
+    ------
+    AuthenticationError
+        wrapping the underlying certificate failure, with a message saying
+        which side failed.
+    """
+    # Step 1: client validates the server certificate.
+    try:
+        client_store.validate(server_cert, now)
+    except CertificateError as err:
+        raise AuthenticationError(f"server certificate rejected: {err}") from err
+    # Server proves possession of the certified key.
+    transcript = server_cert.tbs_bytes() + nonce
+    try:
+        from repro.security.rsa import verify
+
+        verify(server_cert.public_key, transcript, server_key.sign(transcript))
+    except Exception as err:  # key mismatch
+        raise AuthenticationError(f"server key possession proof failed: {err}") from err
+    if server_cert.public_key != server_key.public:
+        raise AuthenticationError("server key does not match its certificate")
+
+    # Step 2: server validates the client (user) certificate.
+    try:
+        server_store.validate(client_cert, now)
+    except CertificateError as err:
+        raise AuthenticationError(f"client certificate rejected: {err}") from err
+    if client_cert.public_key != client_key.public:
+        raise AuthenticationError("client key does not match its certificate")
+    transcript = client_cert.tbs_bytes() + nonce
+    from repro.security.rsa import verify as _verify
+
+    _verify(client_cert.public_key, transcript, client_key.sign(transcript))
+
+    key = _derive_key(client_cert, server_cert, nonce)
+    return SSLSession(
+        client=_Endpoint(key, peer=server_cert),
+        server=_Endpoint(key, peer=client_cert),
+        established_at=now,
+    )

@@ -1,0 +1,155 @@
+"""The UNICORE User DataBase (UUDB): DN → local login mapping.
+
+Paper, section 4: "The unique user identification is translated by the
+UNICORE server into the user's user-id on the execution host.  This
+mechanism eliminates the need to install uniform UNIX uid/gid pairs for
+UNICORE users."  And section 5.2: "Each UNICORE site administration
+therefore maintains a user data base for the local mapping."
+
+Each Usite's gateway holds one :class:`UUDB`.  A mapping may be further
+restricted per Vsite (different logins on different execution hosts of
+one site) and can be disabled without deletion (user on leave, security
+incident).  Sites requiring extra authentication (smart cards, DCE — per
+the paper) can install a site-specific check hook.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.security.errors import MappingError
+from repro.security.x509 import Certificate, DistinguishedName
+
+__all__ = ["UserMapping", "UUDB"]
+
+
+@dataclass(slots=True)
+class UserMapping:
+    """One site-local identity for a UNICORE user.
+
+    Attributes
+    ----------
+    login:
+        The local user-id on the execution host(s).
+    gid:
+        Primary account group (the AJO carries the user account group).
+    vsite:
+        If non-empty, the mapping applies only on that Vsite; an empty
+        string means "all Vsites of this Usite".
+    enabled:
+        Disabled mappings are retained but refuse authentication.
+    """
+
+    dn: str
+    login: str
+    gid: str = "users"
+    vsite: str = ""
+    enabled: bool = True
+
+
+class UUDB:
+    """Per-Usite user database maintained by the site administration."""
+
+    def __init__(self, site_name: str) -> None:
+        self.site_name = site_name
+        # dn string -> list of mappings (general + per-vsite overrides)
+        self._mappings: dict[str, list[UserMapping]] = {}
+        #: Optional extra site-specific authentication (smart card / DCE).
+        self._site_check: typing.Callable[[Certificate], bool] | None = None
+        self.lookups = 0  # instrumentation for experiment E6
+
+    # -- administration ------------------------------------------------------
+    def add(self, mapping: UserMapping) -> None:
+        """Register a mapping; per-(dn, vsite) pairs must be unique."""
+        entries = self._mappings.setdefault(mapping.dn, [])
+        if any(m.vsite == mapping.vsite for m in entries):
+            raise ValueError(
+                f"duplicate mapping for {mapping.dn!r} on vsite "
+                f"{mapping.vsite or '<all>'!r}"
+            )
+        entries.append(mapping)
+
+    def add_user(
+        self,
+        dn: DistinguishedName | str,
+        login: str,
+        gid: str = "users",
+        vsite: str = "",
+    ) -> UserMapping:
+        """Convenience wrapper around :meth:`add`."""
+        mapping = UserMapping(dn=str(dn), login=login, gid=gid, vsite=vsite)
+        self.add(mapping)
+        return mapping
+
+    def remove(self, dn: DistinguishedName | str, vsite: str = "") -> None:
+        entries = self._mappings.get(str(dn), [])
+        kept = [m for m in entries if m.vsite != vsite]
+        if len(kept) == len(entries):
+            raise MappingError(f"no mapping for {dn} on vsite {vsite or '<all>'!r}")
+        if kept:
+            self._mappings[str(dn)] = kept
+        else:
+            del self._mappings[str(dn)]
+
+    def disable(self, dn: DistinguishedName | str) -> None:
+        """Disable every mapping for ``dn`` (kept on file, refuses auth)."""
+        entries = self._mappings.get(str(dn))
+        if not entries:
+            raise MappingError(f"no mapping for {dn}")
+        for m in entries:
+            m.enabled = False
+
+    def enable(self, dn: DistinguishedName | str) -> None:
+        entries = self._mappings.get(str(dn))
+        if not entries:
+            raise MappingError(f"no mapping for {dn}")
+        for m in entries:
+            m.enabled = True
+
+    def install_site_check(
+        self, check: typing.Callable[[Certificate], bool]
+    ) -> None:
+        """Install the site-specific extra authentication hook."""
+        self._site_check = check
+
+    # -- lookup ----------------------------------------------------------------
+    def map_certificate(self, certificate: Certificate, vsite: str = "") -> UserMapping:
+        """Map an (already validated) user certificate to a local identity.
+
+        Prefers a Vsite-specific mapping over the site-wide one.  Raises
+        :class:`MappingError` if the DN is unknown, disabled, or the
+        site-specific check rejects the certificate.
+        """
+        if self._site_check is not None and not self._site_check(certificate):
+            raise MappingError(
+                f"site {self.site_name}: site-specific authentication refused "
+                f"{certificate.subject}"
+            )
+        return self.map_dn(str(certificate.subject), vsite=vsite)
+
+    def map_dn(self, dn: str, vsite: str = "") -> UserMapping:
+        """Map a distinguished name (certificate already validated upstream)."""
+        self.lookups += 1
+        entries = self._mappings.get(dn)
+        if not entries:
+            raise MappingError(
+                f"site {self.site_name}: no local account for {dn!r}"
+            )
+        specific = next((m for m in entries if m.vsite == vsite and vsite), None)
+        general = next((m for m in entries if m.vsite == ""), None)
+        mapping = specific or general
+        if mapping is None:
+            raise MappingError(
+                f"site {self.site_name}: {dn!r} has no mapping valid on "
+                f"vsite {vsite!r}"
+            )
+        if not mapping.enabled:
+            raise MappingError(f"site {self.site_name}: account for {dn!r} disabled")
+        return mapping
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._mappings.values())
+
+    def known_dns(self) -> list[str]:
+        return sorted(self._mappings)

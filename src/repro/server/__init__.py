@@ -1,0 +1,44 @@
+"""The UNICORE server tier (paper section 4.2).
+
+"The UNICORE server consists of the https Web server ..., the signed
+Java applets, resource information about the available execution systems
+at the Usite, the user authentication ..., the Java security servlet
+(gateway) which maps the user's certificate to the user's id at the
+target system, [and] the network job supervisor (NJS) which does the job
+management."
+
+- :mod:`repro.server.gateway` — authentication, DN→uid mapping, request
+  forwarding, the firewall split;
+- :mod:`repro.server.vsite` — a virtual site: batch system + Uspace
+  manager + resource page + translation table;
+- :mod:`repro.server.translation` — the site-maintained translation
+  tables incarnation reads;
+- :mod:`repro.server.njs` — the network job supervisor: incarnation,
+  DAG-sequenced delivery, data transfers, outcome collection,
+  peer-NJS forwarding;
+- :mod:`repro.server.usite` — one UNICORE site assembled from the above.
+"""
+
+from repro.server.errors import (
+    ConsignError,
+    IncarnationError,
+    ServerError,
+    UnknownUnicoreJobError,
+)
+from repro.server.translation import TranslationTable
+from repro.server.vsite import Vsite
+from repro.server.gateway import Gateway
+from repro.server.njs.supervisor import NetworkJobSupervisor
+from repro.server.usite import Usite
+
+__all__ = [
+    "ConsignError",
+    "Gateway",
+    "IncarnationError",
+    "NetworkJobSupervisor",
+    "ServerError",
+    "TranslationTable",
+    "UnknownUnicoreJobError",
+    "Usite",
+    "Vsite",
+]

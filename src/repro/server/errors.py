@@ -1,0 +1,24 @@
+"""Exceptions for the server tier."""
+
+__all__ = [
+    "ServerError",
+    "ConsignError",
+    "IncarnationError",
+    "UnknownUnicoreJobError",
+]
+
+
+class ServerError(Exception):
+    """Base class for server-tier errors."""
+
+
+class ConsignError(ServerError):
+    """A consigned AJO was rejected (validation, resources, mapping)."""
+
+
+class IncarnationError(ServerError):
+    """An abstract task cannot be translated for the destination system."""
+
+
+class UnknownUnicoreJobError(ServerError):
+    """No UNICORE job with that identifier is known to this NJS."""

@@ -1,0 +1,289 @@
+"""The gateway: https endpoint, security servlet, firewall split.
+
+Paper section 4.2: the UNICORE server includes "the user authentication
+provided by https by checking the user's certificate, [and] the Java
+security servlet (gateway) which maps the user's certificate to the
+user's id at the target system".  Section 5.2: "the two parts of the
+UNICORE server, the Web server and the NJS, can be run on different
+systems.  The Web server has to be installed on the firewall system and
+the NJS on a system inside the firewall.  The communication between the
+two components is done via IP socket connection to a site selectable
+port."
+
+The :class:`Gateway` therefore:
+
+* terminates client https channels (mutual authentication already done
+  by :func:`~repro.net.https.establish_https`);
+* re-validates the peer certificate on every request and refuses
+  requests whose claimed DN differs from the authenticated certificate;
+* maps the DN to the local login via the site's UUDB;
+* serves the signed applets and the Vsites' ASN.1 resource pages;
+* forwards requests over the firewall socket to the NJS and returns the
+  NJS's answers as protocol replies.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.ajo.errors import SerializationError
+from repro.ajo.serialize import decode_ajo, decode_service
+from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
+from repro.net.https import HttpsChannel
+from repro.net.transport import Host, Network
+from repro.protocol.consignment import decode_consignment
+from repro.protocol.messages import Reply, Request, RequestKind
+from repro.security.applet import SignedApplet
+from repro.security.ca import CertificateStore
+from repro.security.errors import MappingError, SecurityError
+from repro.security.uudb import UUDB
+from repro.server.errors import ConsignError, ServerError, UnknownUnicoreJobError
+from repro.simkernel import Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.server.njs.supervisor import NetworkJobSupervisor
+
+__all__ = ["Gateway"]
+
+#: CPU cost of the gateway's per-request certificate re-validation.
+AUTH_CPU_S = 0.003
+
+
+class Gateway:
+    """The Usite's https front end and security servlet."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        usite_name: str,
+        host: Host,
+        network: Network,
+        cert_store: CertificateStore,
+        uudb: UUDB,
+        njs: "NetworkJobSupervisor",
+        applets: dict[str, SignedApplet] | None = None,
+        auth_cpu_s: float = AUTH_CPU_S,
+    ) -> None:
+        self.sim = sim
+        self.usite_name = usite_name
+        self.host = host
+        self.network = network
+        self.cert_store = cert_store
+        self.uudb = uudb
+        self.njs = njs
+        self.applets = dict(applets or {})
+        self.auth_cpu_s = auth_cpu_s
+        #: client host name -> authenticated https channel.
+        self._channels: dict[str, HttpsChannel] = {}
+        #: request id -> cached reply, making retried requests idempotent
+        #: (the async protocol resends after reply loss).
+        self._reply_cache: dict[int, Reply] = {}
+        #: Instrumentation.
+        self.requests_served = 0
+        self.auth_failures = 0
+
+        sim.process(self._server_loop(), name=f"gateway:{usite_name}")
+
+    # -- connection management ---------------------------------------------
+    def register_channel(self, client_host: str, channel: HttpsChannel) -> None:
+        """Record an established client channel (called post-handshake)."""
+        self._channels[client_host] = channel
+
+    # -- content served alongside the applets ------------------------------
+    def resource_pages(self) -> dict[str, bytes]:
+        """ASN.1 resource pages of all local Vsites (section 5.4)."""
+        return {
+            name: vsite.resource_page.to_asn1()
+            for name, vsite in self.njs.vsites.items()
+        }
+
+    def serve_applet(self, name: str) -> SignedApplet:
+        try:
+            return self.applets[name]
+        except KeyError:
+            raise ServerError(
+                f"{self.usite_name}: no applet {name!r} "
+                f"(available: {sorted(self.applets)})"
+            ) from None
+
+    # -- request handling --------------------------------------------------------
+    def _server_loop(self):
+        while True:
+            message = yield self.host.receive()
+            if isinstance(message.payload, Request):
+                self.sim.process(
+                    self._handle_request(message.sender, message.payload),
+                    name=f"gw-req:{message.payload.request_id}",
+                )
+            elif self.njs.host.name == self.host.name:
+                # Co-located deployment (no firewall split): this host's
+                # inbox is shared, and peer NJS traffic lands here too.
+                self.njs.dispatch_peer_message(message.payload)
+            # Otherwise: NJS peer traffic merely transits this host with
+            # deliver=False; anything else is ignored.
+
+    def _handle_request(self, client_host: str, request: Request):
+        channel = self._channels.get(client_host)
+        if channel is None:
+            # No authenticated channel: nothing to reply on; drop.
+            self.auth_failures += 1
+            return
+        cached = self._reply_cache.get(request.request_id)
+        if cached is not None:
+            # Retried request (its reply was lost): resend, do not redo.
+            channel.send(cached, cached.wire_size, to_server=False)
+            return
+        reply = yield from self._process(channel, request)
+        self._reply_cache[request.request_id] = reply
+        self.requests_served += 1
+        channel.send(reply, reply.wire_size, to_server=False)
+
+    def _process(self, channel: HttpsChannel, request: Request):
+        # Authentication: the channel's peer certificate is the user's
+        # unique UNICORE identification; re-validate and match the claim.
+        yield self.sim.timeout(self.auth_cpu_s)
+        certificate = channel.session.server.peer_certificate
+        try:
+            self.cert_store.validate(certificate, now=self.sim.now)
+        except SecurityError as err:
+            self.auth_failures += 1
+            return Reply(
+                request_id=request.request_id, ok=False,
+                error=f"authentication failed: {err}",
+            )
+        if str(certificate.subject) != request.user_dn:
+            self.auth_failures += 1
+            return Reply(
+                request_id=request.request_id, ok=False,
+                error=(
+                    f"identity mismatch: request claims {request.user_dn!r} "
+                    f"but the channel authenticated {certificate.subject}"
+                ),
+            )
+        # Certificate-to-uid mapping (the security servlet's job).
+        try:
+            self.uudb.map_certificate(certificate, vsite=request.vsite)
+        except MappingError as err:
+            self.auth_failures += 1
+            return Reply(request_id=request.request_id, ok=False, error=str(err))
+
+        # Firewall hop: gateway -> NJS socket (section 5.2).  The socket
+        # is TCP on the site LAN: model it as reliable (a lost frame is
+        # retransmitted below the layer we simulate).
+        from repro.net.errors import ConnectionLost
+
+        if self.njs.host.name != self.host.name:
+            try:
+                yield self.network.send(
+                    self.host.name, self.njs.host.name,
+                    ("fw", request.request_id),
+                    request.wire_size, channel="firewall", deliver=False,
+                )
+            except ConnectionLost:
+                pass
+
+        try:
+            reply = self._dispatch(request)
+        except (ConsignError, UnknownUnicoreJobError, SerializationError, ServerError) as err:
+            reply = Reply(request_id=request.request_id, ok=False, error=str(err))
+
+        if self.njs.host.name != self.host.name:
+            try:
+                yield self.network.send(
+                    self.njs.host.name, self.host.name,
+                    ("fw-reply", request.request_id),
+                    reply.wire_size, channel="firewall", deliver=False,
+                )
+            except ConnectionLost:
+                pass
+        return reply
+
+    def _dispatch(self, request: Request) -> Reply:
+        if request.kind == RequestKind.CONSIGN_JOB:
+            ajo_bytes, files = decode_consignment(request.payload)
+            ajo = decode_ajo(ajo_bytes)
+            if ajo.user_dn and ajo.user_dn != request.user_dn:
+                raise ConsignError(
+                    f"AJO names user {ajo.user_dn!r} but the request was "
+                    f"authenticated as {request.user_dn!r}"
+                )
+            run = self.njs.consign(ajo, workstation_files=files)
+            return Reply(
+                request_id=request.request_id, ok=True,
+                payload=json.dumps({"job_id": run.job_id}).encode(),
+            )
+
+        if request.kind == RequestKind.QUERY:
+            service = decode_service(request.payload)
+            if not isinstance(service, QueryService):
+                raise SerializationError("QUERY request must carry a QueryService")
+            self._authorize_job(service.target_job_id, request.user_dn)
+            tree = self.njs.query_status(service.target_job_id, detail=service.detail)
+            return Reply(
+                request_id=request.request_id, ok=True,
+                payload=json.dumps(tree).encode(),
+            )
+
+        if request.kind == RequestKind.LIST:
+            service = decode_service(request.payload)
+            if not isinstance(service, ListService):
+                raise SerializationError("LIST request must carry a ListService")
+            jobs = self.njs.list_jobs(request.user_dn)
+            return Reply(
+                request_id=request.request_id, ok=True,
+                payload=json.dumps(jobs).encode(),
+            )
+
+        if request.kind == RequestKind.CONTROL:
+            service = decode_service(request.payload)
+            if not isinstance(service, ControlService):
+                raise SerializationError("CONTROL request must carry a ControlService")
+            self._authorize_job(service.target_job_id, request.user_dn)
+            if service.verb == ControlVerb.CANCEL:
+                self.njs.cancel(service.target_job_id)
+            elif service.verb == ControlVerb.HOLD:
+                self.njs.hold(service.target_job_id)
+            elif service.verb == ControlVerb.RESUME:
+                self.njs.resume(service.target_job_id)
+            else:  # pragma: no cover - verbs validated at construction
+                raise ServerError(f"control verb {service.verb!r} unsupported")
+            return Reply(
+                request_id=request.request_id, ok=True,
+                payload=json.dumps({"acknowledged": service.verb}).encode(),
+            )
+
+        if request.kind == RequestKind.RETRIEVE_OUTCOME:
+            job_id = request.payload.decode()
+            self._authorize_job(job_id, request.user_dn)
+            return Reply(
+                request_id=request.request_id, ok=True,
+                payload=self.njs.retrieve_outcome(job_id),
+            )
+
+        if request.kind == RequestKind.FETCH_FILE:
+            spec = json.loads(request.payload)
+            self._authorize_job(spec["job_id"], request.user_dn)
+            content = self.njs.fetch_uspace_file(spec["job_id"], spec["path"])
+            return Reply(
+                request_id=request.request_id, ok=True, payload=content
+            )
+
+        if request.kind == RequestKind.DISPOSE:
+            job_id = request.payload.decode()
+            self._authorize_job(job_id, request.user_dn)
+            self.njs.dispose(job_id)
+            return Reply(
+                request_id=request.request_id, ok=True,
+                payload=json.dumps({"disposed": job_id}).encode(),
+            )
+
+        raise ServerError(f"unhandled request kind {request.kind!r}")
+
+    def _authorize_job(self, job_id: str, user_dn: str) -> None:
+        """Users may only touch their own jobs."""
+        run = self.njs.get_run(job_id)
+        if run.user_dn != user_dn:
+            raise ServerError(
+                f"job {job_id} belongs to another user"
+            )

@@ -1,0 +1,20 @@
+"""The Network Job Supervisor.
+
+Paper section 5.5: "The NJS consists of two main components, a java
+translation server (JTS) and a system for job control and scheduling
+which in the current implementation is based on Codine."
+
+- :mod:`repro.server.njs.incarnation` — the JTS role: abstract task →
+  vendor batch script via translation tables;
+- :mod:`repro.server.njs.jobrun` — per-job state: outcomes, uspaces,
+  completion events;
+- :mod:`repro.server.njs.supervisor` — the control role: consign, DAG
+  sequencing, submission, data transfers, output collection, peer
+  forwarding.
+"""
+
+from repro.server.njs.incarnation import incarnate_task
+from repro.server.njs.jobrun import JobRun
+from repro.server.njs.supervisor import NetworkJobSupervisor
+
+__all__ = ["JobRun", "NetworkJobSupervisor", "incarnate_task"]

@@ -1,0 +1,109 @@
+"""Per-job runtime state inside an NJS."""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.ajo.job import AbstractJobObject
+from repro.ajo.outcome import AJOOutcome, Outcome, new_outcome
+from repro.ajo.status import ActionStatus
+from repro.simkernel import Event, Simulator
+from repro.vfs.spaces import Uspace
+
+__all__ = ["JobRun"]
+
+
+@dataclass(slots=True)
+class JobRun:
+    """Everything an NJS tracks about one consigned UNICORE job.
+
+    Attributes
+    ----------
+    outcomes:
+        Flat index ``action_id -> Outcome``; the same objects are linked
+        into the nested :class:`AJOOutcome` tree at ``root_outcome``.
+    events:
+        ``action_id -> Event`` fired (with the final :class:`ActionStatus`)
+        when that action reaches a terminal state — the NJS's dependency
+        sequencing waits on these.
+    uspaces:
+        ``group action_id -> Uspace`` job directories created per group.
+    batch_jobs:
+        ``action_id -> (vsite_name, local_job_id)`` for delivered tasks.
+    workstation_files:
+        Files that rode along inside the consignment (section 5.6).
+    """
+
+    job_id: str
+    root: AbstractJobObject
+    user_dn: str
+    submitted_at: float
+    outcomes: dict[str, Outcome] = field(default_factory=dict)
+    events: dict[str, Event] = field(default_factory=dict)
+    uspaces: dict[str, Uspace] = field(default_factory=dict)
+    batch_jobs: dict[str, tuple[str, str]] = field(default_factory=dict)
+    workstation_files: dict[str, bytes] = field(default_factory=dict)
+    #: Dependency files produced by forwarded (remote) groups, keyed by
+    #: the producing group's action id.
+    remote_files: dict[str, dict[str, bytes]] = field(default_factory=dict)
+    #: Files each group must have produced when it completes (named on
+    #: parent-level dependency edges, or requested by the forwarding
+    #: parent NJS); the group's sink tasks materialize them.
+    group_expected: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    done_event: Event | None = None
+    cancelled: bool = False
+    #: Held jobs stop *delivering* further parts (running batch jobs are
+    #: beyond UNICORE's reach — site autonomy); resume releases them.
+    held: bool = False
+    hold_released: Event | None = None
+
+    @classmethod
+    def create(
+        cls,
+        sim: Simulator,
+        job_id: str,
+        root: AbstractJobObject,
+        user_dn: str,
+        workstation_files: dict[str, bytes] | None = None,
+    ) -> "JobRun":
+        run = cls(
+            job_id=job_id,
+            root=root,
+            user_dn=user_dn,
+            submitted_at=sim.now,
+            workstation_files=dict(workstation_files or {}),
+            done_event=sim.event(name=f"job-done:{job_id}"),
+        )
+        run._build_outcomes(sim, root)
+        return run
+
+    def _build_outcomes(self, sim: Simulator, group: AbstractJobObject) -> None:
+        if group.id not in self.outcomes:
+            self.outcomes[group.id] = new_outcome(group)
+            self.events[group.id] = sim.event(name=f"done:{group.id}")
+        group_outcome = typing.cast(AJOOutcome, self.outcomes[group.id])
+        for child in group.children:
+            child_outcome = new_outcome(child)
+            self.outcomes[child.id] = child_outcome
+            group_outcome.add_child(child_outcome)
+            self.events[child.id] = sim.event(name=f"done:{child.id}")
+            if isinstance(child, AbstractJobObject):
+                self._build_outcomes(sim, child)
+
+    @property
+    def root_outcome(self) -> AJOOutcome:
+        return typing.cast(AJOOutcome, self.outcomes[self.root.id])
+
+    def status(self) -> ActionStatus:
+        """Uniform job status for the JMC."""
+        return self.root_outcome.rollup_status()
+
+    def finish_action(self, action_id: str, status: ActionStatus, reason: str = "") -> None:
+        """Mark an action terminal and fire its completion event."""
+        outcome = self.outcomes[action_id]
+        if not outcome.status.is_terminal:
+            outcome.mark(status, reason=reason)
+        event = self.events[action_id]
+        if not event.triggered:
+            event.succeed(status)

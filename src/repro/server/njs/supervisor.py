@@ -1,0 +1,1032 @@
+"""The Network Job Supervisor (NJS).
+
+Paper section 4.2: "the network job supervisor (NJS) which does the job
+management.  The NJS translates the AJO into one or more batch jobs for
+the destination system(s), submits the batch jobs, and controls them.
+In addition, it transparently transfers data to and from the destination
+system for the job and makes sure that the dependent parts of the
+UNICORE job are scheduled in the predefined sequence."
+
+Responsibilities implemented here (section 5.5's task list):
+
+* split a consigned AJO into job groups, forwarding those destined for
+  other Usites to the peer NJS via the gateways (https route);
+* create a UNICORE job directory (Uspace) per job group with tasks;
+* sequence dependent parts — delivery only, never influencing the local
+  scheduling of destination systems (site autonomy);
+* incarnate abstract tasks via the Vsites' translation tables and submit
+  them to the vendor batch systems;
+* guarantee dependency-annotated files are available to successors;
+* perform imports/exports as local copies and Uspace-to-Uspace transfers
+  as NJS-to-NJS https traffic;
+* collect standard output/error and aggregate Outcomes.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.ajo.job import AbstractJobObject
+from repro.ajo.outcome import AJOOutcome, TaskOutcome
+from repro.ajo.serialize import decode_ajo, decode_outcome, encode_ajo, encode_outcome
+from repro.ajo.status import ActionStatus
+from repro.ajo.tasks import (
+    ExecuteTask,
+    ExportTask,
+    FileSpace,
+    ImportTask,
+    TransferTask,
+)
+from repro.ajo.validate import validate_ajo
+from repro.ajo.errors import ValidationError
+from repro.batch.base import BatchState, FileEffect
+from repro.batch.errors import BatchError
+from repro.net.transport import Host, Network
+from repro.resources.check import check_request
+from repro.security.errors import MappingError
+from repro.security.ssl import HANDSHAKE_ROUND_TRIPS, SSLSession
+from repro.security.uudb import UUDB
+from repro.server.errors import ConsignError, UnknownUnicoreJobError
+from repro.server.njs.codine_layer import CodineJobControl
+from repro.server.njs.incarnation import incarnate_task
+from repro.server.njs.jobrun import JobRun
+from repro.server.vsite import Vsite
+from repro.simkernel import Simulator
+from repro.vfs.errors import VFSError
+from repro.vfs.spaces import Xspace
+
+__all__ = [
+    "NetworkJobSupervisor",
+    "ForwardGroup",
+    "GroupResult",
+    "TransferFile",
+    "TransferAck",
+    "CancelGroup",
+]
+
+#: Local disk bandwidth for Xspace<->Uspace copies (section 5.6: "a copy
+#: process available at the Vsite").
+LOCAL_DISK_BANDWIDTH_BPS = 50e6
+
+#: CPU cost of incarnating one task (table lookups + templating).
+INCARNATION_CPU_S = 0.005
+
+#: Default size of a dependency-annotated result file when the producing
+#: task does not specify otherwise.
+RESULT_FILE_BYTES = 1 << 20
+
+#: Handshake flight size on NJS-NJS routes.
+_HS_BYTES = 1500
+
+
+# --------------------------------------------------------- NJS-NJS messages
+@dataclass(slots=True)
+class ForwardGroup:
+    """A job group consigned to a peer NJS (section 4.3: servers exchange
+    '(parts of) UNICORE jobs')."""
+
+    corr_id: int
+    reply_usite: str
+    parent_job_id: str
+    user_dn: str
+    ajo_bytes: bytes
+    #: Workstation + staged dependency files the group needs, path->bytes.
+    staged_files: dict[str, bytes] = field(default_factory=dict)
+    #: Files the parent needs back when the group completes.
+    return_files: tuple[str, ...] = ()
+
+    @property
+    def wire_payload(self) -> int:
+        return (
+            len(self.ajo_bytes)
+            + sum(len(v) for v in self.staged_files.values())
+            + 512
+        )
+
+
+@dataclass(slots=True)
+class GroupResult:
+    """Completion report for a forwarded group."""
+
+    corr_id: int
+    ok: bool
+    outcome_bytes: bytes = b""
+    produced_files: dict[str, bytes] = field(default_factory=dict)
+    error: str = ""
+
+    @property
+    def wire_payload(self) -> int:
+        return (
+            len(self.outcome_bytes)
+            + sum(len(v) for v in self.produced_files.values())
+            + 512
+        )
+
+
+@dataclass(slots=True)
+class TransferFile:
+    """A Uspace-to-Uspace transfer (section 5.6, the https-tunnel path)."""
+
+    corr_id: int
+    reply_usite: str
+    parent_job_id: str
+    destination_path: str
+    content: bytes
+
+    @property
+    def wire_payload(self) -> int:
+        return len(self.content) + 512
+
+
+@dataclass(slots=True)
+class TransferAck:
+    corr_id: int
+    ok: bool
+    error: str = ""
+
+    @property
+    def wire_payload(self) -> int:
+        return 128 + len(self.error)
+
+
+@dataclass(slots=True)
+class CancelGroup:
+    """Cancellation propagated to a peer holding a forwarded group."""
+
+    corr_id: int
+    parent_job_id: str
+
+    @property
+    def wire_payload(self) -> int:
+        return 128
+
+
+class NetworkJobSupervisor:
+    """One NJS, serving all Vsites of its Usite."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        usite_name: str,
+        host: Host,
+        network: Network,
+        uudb: UUDB,
+        xspace: Xspace,
+        vsites: dict[str, Vsite],
+        local_disk_bandwidth_Bps: float = LOCAL_DISK_BANDWIDTH_BPS,
+        incarnation_cpu_s: float = INCARNATION_CPU_S,
+        per_record_cpu_s: float = 0.002,
+        own_inbox: bool = True,
+        accounting=None,
+    ) -> None:
+        self.sim = sim
+        self.usite_name = usite_name
+        self.host = host
+        self.network = network
+        self.uudb = uudb
+        self.xspace = xspace
+        self.vsites = dict(vsites)
+        self.local_disk_bandwidth_Bps = local_disk_bandwidth_Bps
+        self.incarnation_cpu_s = incarnation_cpu_s
+        self.per_record_cpu_s = per_record_cpu_s
+        #: Optional :class:`repro.ext.accounting.AccountingLog`; every
+        #: completed UNICORE batch record is charged to it (section 6's
+        #: "accounting functions").
+        self.accounting = accounting
+        #: The Codine-based internal job control of section 5.1/5.5:
+        #: every incarnated job passes through the Codine internal format.
+        self.codine = CodineJobControl()
+
+        self._runs: dict[str, JobRun] = {}
+        #: forwarded groups indexed by the *parent's* job id, for transfers
+        #: and cancellation arriving from the parent site.
+        self._foreign_runs: dict[str, JobRun] = {}
+        #: files for a foreign job that arrived before its group did.
+        self._early_files: dict[str, dict[str, bytes]] = {}
+        #: dependency files produced by forwarded groups, pred id -> files.
+        self._job_seq = count(1)
+        self._corr_seq = count(1)
+        self._pending: dict[int, object] = {}  # corr_id -> Event
+        #: peer Usite -> (route hops, handshake_done flag).
+        self._peer_routes: dict[str, list[tuple[str, str]]] = {}
+        self._peer_sessions: set[str] = set()
+        #: Instrumentation.
+        self.incarnations = 0
+        self.forwarded_groups = 0
+        self.transfers_bytes = 0
+
+        # When the NJS shares the gateway's host (no firewall split), the
+        # gateway owns the inbox and forwards peer traffic to
+        # :meth:`dispatch_peer_message` instead.
+        if own_inbox:
+            sim.process(self._server_loop(), name=f"njs:{usite_name}")
+
+    # ------------------------------------------------------------ wiring
+    def register_peer(self, usite: str, route: list[tuple[str, str]]) -> None:
+        """Register the https route (host hops) to a peer Usite's NJS."""
+        self._peer_routes[usite] = list(route)
+
+    # ------------------------------------------------------------ consign
+    def consign(
+        self,
+        ajo: AbstractJobObject,
+        user_dn: str | None = None,
+        workstation_files: dict[str, bytes] | None = None,
+        parent_job_id: str | None = None,
+    ) -> JobRun:
+        """Accept a job (or a forwarded job group); starts supervision.
+
+        Raises :class:`ConsignError` on validation, mapping, or resource
+        failures — the gateway reports these to the client synchronously.
+        """
+        dn = user_dn or ajo.user_dn
+        if not dn:
+            raise ConsignError("consignment carries no user identity")
+        try:
+            validate_ajo(ajo, require_user=user_dn is None)
+        except ValidationError as err:
+            raise ConsignError(f"invalid AJO: {err}") from err
+        self._check_destinations(ajo, dn)
+
+        job_id = f"U{next(self._job_seq):05d}@{self.usite_name}"
+        run = JobRun.create(
+            self.sim, job_id, ajo, dn, workstation_files=workstation_files
+        )
+        self._runs[job_id] = run
+        if parent_job_id is not None:
+            self._foreign_runs[parent_job_id] = run
+        self.sim.process(self._run_job(run), name=f"job:{job_id}")
+        return run
+
+    def _check_destinations(self, group: AbstractJobObject, dn: str) -> None:
+        """Validate vsites, user mapping, and resources for local groups."""
+        if group.usite in ("", self.usite_name):
+            if group.tasks():
+                vsite = self.vsites.get(group.vsite)
+                if vsite is None:
+                    raise ConsignError(
+                        f"{self.usite_name}: unknown Vsite {group.vsite!r} "
+                        f"(available: {sorted(self.vsites)})"
+                    )
+                try:
+                    self.uudb.map_dn(dn, vsite=vsite.name)
+                except MappingError as err:
+                    raise ConsignError(str(err)) from err
+                for task in group.tasks():
+                    result = check_request(
+                        vsite.resource_page,
+                        task.resources,
+                        task.required_software(),
+                    )
+                    if not result.ok:
+                        raise ConsignError(
+                            f"task {task.name!r}: {result.summary()}"
+                        )
+            for sub in group.sub_jobs():
+                self._check_destinations(sub, dn)
+        else:
+            if group.usite not in self._peer_routes:
+                raise ConsignError(
+                    f"{self.usite_name}: no route to Usite {group.usite!r}"
+                )
+
+    # ------------------------------------------------------- job processes
+    def _run_job(self, run: JobRun):
+        yield from self._run_group(run, run.root)
+        assert run.done_event is not None
+        if not run.done_event.triggered:
+            run.done_event.succeed(run.status())
+
+    def _run_group(self, run: JobRun, group: AbstractJobObject):
+        if group.tasks() or group.id == run.root.id:
+            vsite = self.vsites.get(group.vsite) if group.vsite else None
+            if vsite is None and group.tasks():
+                # Validated at consign; only reachable for forwarded jobs
+                # racing a site reconfiguration.
+                run.finish_action(
+                    group.id, ActionStatus.FAILED,
+                    reason=f"no Vsite {group.vsite!r}",
+                )
+                return
+            if vsite is not None:
+                uspace = vsite.uspaces.create(f"{run.job_id}.{group.id}")
+                run.uspaces[group.id] = uspace
+                # Early-arrived transfer files and forwarded staging.
+                for path, content in self._early_files.pop(run.job_id, {}).items():
+                    uspace.write(path, content)
+
+        for child in group.children:
+            self.sim.process(
+                self._run_child(run, group, child),
+                name=f"child:{child.id}",
+            )
+        for child in group.children:
+            yield run.events[child.id]
+        run.finish_action(group.id, self._group_status(run, group))
+
+    def _group_status(self, run: JobRun, group: AbstractJobObject) -> ActionStatus:
+        statuses = {run.outcomes[c.id].status for c in group.children}
+        if not statuses:
+            return ActionStatus.SUCCESSFUL
+        if ActionStatus.FAILED in statuses:
+            return ActionStatus.FAILED
+        if ActionStatus.KILLED in statuses:
+            return ActionStatus.KILLED
+        if statuses == {ActionStatus.NOT_ATTEMPTED}:
+            return ActionStatus.NOT_ATTEMPTED
+        return ActionStatus.SUCCESSFUL
+
+    def _run_child(self, run: JobRun, group: AbstractJobObject, child):
+        # 1. Wait for predecessors (the "predefined sequence").
+        deps = [d for d in group.dependencies if d.successor_id == child.id]
+        failed_pred = None
+        for dep in deps:
+            status = yield run.events[dep.predecessor_id]
+            if status is not ActionStatus.SUCCESSFUL and failed_pred is None:
+                failed_pred = (dep.predecessor_id, status)
+        if failed_pred is not None:
+            run.finish_action(
+                child.id, ActionStatus.NOT_ATTEMPTED,
+                reason=f"predecessor {failed_pred[0]} "
+                       f"{failed_pred[1].value}",
+            )
+            return
+        if run.cancelled:
+            run.finish_action(child.id, ActionStatus.KILLED, reason="job cancelled")
+            return
+        # A held job delivers nothing further until resumed (or cancelled).
+        while run.held:
+            if run.hold_released is None or run.hold_released.triggered:
+                run.hold_released = self.sim.event(name=f"resume:{run.job_id}")
+            yield run.hold_released
+            if run.cancelled:
+                run.finish_action(
+                    child.id, ActionStatus.KILLED, reason="job cancelled"
+                )
+                return
+
+        # 2. Guarantee dependency-annotated files (section 5.7).
+        staged: dict[str, bytes] = {}
+        for dep in deps:
+            for path in dep.files:
+                content = self._locate_dependency_file(run, group, dep.predecessor_id, path)
+                if content is None:
+                    run.finish_action(
+                        child.id, ActionStatus.FAILED,
+                        reason=f"dependency file {path!r} from "
+                               f"{dep.predecessor_id} not found",
+                    )
+                    return
+                staged[path] = content
+        if staged:
+            # Local staging copy at disk bandwidth.
+            total = sum(len(v) for v in staged.values())
+            yield self.sim.timeout(total / self.local_disk_bandwidth_Bps)
+
+        # 3. Dispatch by action type.
+        if isinstance(child, AbstractJobObject):
+            # Files that parent-level edges expect this group to produce.
+            run.group_expected[child.id] = tuple(
+                f
+                for dep in group.dependencies
+                if dep.predecessor_id == child.id
+                for f in dep.files
+            )
+            if child.usite and child.usite != self.usite_name:
+                yield from self._forward_group(run, group, child, staged)
+            else:
+                self._pre_stage(run, child, staged)
+                yield from self._run_group(run, child)
+        elif isinstance(child, ExecuteTask):
+            yield from self._run_execute(run, group, child, staged)
+        elif isinstance(child, ImportTask):
+            yield from self._run_import(run, group, child)
+        elif isinstance(child, ExportTask):
+            yield from self._run_export(run, group, child)
+        elif isinstance(child, TransferTask):
+            yield from self._run_transfer(run, group, child)
+        else:  # pragma: no cover - validated at add()
+            run.finish_action(
+                child.id, ActionStatus.FAILED,
+                reason=f"unsupported action {type(child).__name__}",
+            )
+
+    def _pre_stage(
+        self, run: JobRun, child_group: AbstractJobObject, staged: dict[str, bytes]
+    ) -> None:
+        """Queue files to be written into a subgroup's uspace at creation.
+
+        The subgroup's uspace does not exist yet; route through the
+        early-files stash (keyed by the run id) that ``_run_group``
+        consumes when it creates the uspace.
+        """
+        if staged:
+            self._early_files.setdefault(run.job_id, {}).update(staged)
+
+    def _locate_dependency_file(
+        self, run: JobRun, group: AbstractJobObject, pred_id: str, path: str
+    ) -> bytes | None:
+        """Find a predecessor-produced file (section 5.7's guarantee)."""
+        # Files produced by forwarded groups came back in the GroupResult.
+        if pred_id in run.remote_files and path in run.remote_files[pred_id]:
+            return run.remote_files[pred_id][path]
+        # A local subgroup's uspace.
+        if pred_id in run.uspaces and run.uspaces[pred_id].exists(path):
+            return run.uspaces[pred_id].read(path)
+        # A sibling task: same group uspace.
+        uspace = run.uspaces.get(group.id)
+        if uspace is not None and uspace.exists(path):
+            return uspace.read(path)
+        return None
+
+    # ------------------------------------------------------------- executors
+    def _run_execute(self, run, group, task, staged: dict[str, bytes]):
+        vsite = self.vsites[group.vsite]
+        uspace = run.uspaces[group.id]
+        outcome = typing.cast(TaskOutcome, run.outcomes[task.id])
+        for path, content in staged.items():
+            uspace.write(path, content)
+        try:
+            mapping = self.uudb.map_dn(run.user_dn, vsite=vsite.name)
+        except MappingError as err:
+            run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
+            return
+
+        # Incarnation (the JTS role).
+        yield self.sim.timeout(self.incarnation_cpu_s)
+        self.incarnations += 1
+        out_files = tuple(
+            FileEffect(path=f, size_bytes=RESULT_FILE_BYTES)
+            for dep in group.dependencies
+            if dep.predecessor_id == task.id
+            for f in dep.files
+        )
+        # Files a later export names with this task as implicit producer.
+        export_sources = tuple(
+            FileEffect(path=t.source_path, size_bytes=RESULT_FILE_BYTES)
+            for t in group.tasks()
+            if isinstance(t, (ExportTask, TransferTask))
+            and any(
+                d.predecessor_id == task.id and d.successor_id == t.id
+                for d in group.dependencies
+            )
+        )
+        # Sink tasks materialize what the *group* owes its own successors
+        # (parent-level dependency edges, or a forwarding parent's
+        # return_files request).
+        group_owes: tuple[FileEffect, ...] = ()
+        has_successor = any(
+            d.predecessor_id == task.id for d in group.dependencies
+        )
+        if not has_successor:
+            group_owes = tuple(
+                FileEffect(path=f, size_bytes=RESULT_FILE_BYTES)
+                for f in run.group_expected.get(group.id, ())
+            )
+        spec = incarnate_task(
+            task, vsite, mapping, uspace,
+            extra_outputs=out_files + export_sources + group_owes,
+        )
+        # "Transform the abstract job into a Codine internal format"
+        # (section 5.5) before delivery to the destination system.
+        self.codine.register(run.job_id, task.id, vsite.name, spec, self.sim.now)
+        try:
+            local_id = vsite.batch.submit(spec)
+        except BatchError as err:
+            self.codine.transition(task.id, BatchState.FAILED, self.sim.now)
+            run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
+            return
+        self.codine.bind_vendor_job(task.id, local_id)
+        run.batch_jobs[task.id] = (vsite.name, local_id)
+        outcome.submitted_at = self.sim.now
+        if not outcome.status.is_terminal:
+            outcome.mark(ActionStatus.QUEUED)
+
+        record = yield vsite.batch.query(local_id).completion_event
+        self.codine.transition(task.id, record.state, self.sim.now)
+        outcome.completed_at = self.sim.now
+        outcome.exit_code = record.exit_code
+        if self.accounting is not None:
+            self.accounting.charge(vsite.name, record)
+        if record.state is BatchState.DONE:
+            outcome.stdout = record.spec.stdout_text
+            run.finish_action(task.id, ActionStatus.SUCCESSFUL)
+        elif record.state is BatchState.CANCELLED:
+            run.finish_action(task.id, ActionStatus.KILLED, reason=record.reason)
+        else:
+            outcome.stdout = record.spec.stdout_text
+            outcome.stderr = record.spec.stderr_text
+            run.finish_action(task.id, ActionStatus.FAILED, reason=record.reason)
+
+    def _run_import(self, run, group, task: ImportTask):
+        uspace = run.uspaces[group.id]
+        outcome = run.outcomes[task.id]
+        outcome.submitted_at = self.sim.now
+        if task.source_space == FileSpace.WORKSTATION:
+            content = run.workstation_files.get(task.source_path)
+            if content is None:
+                run.finish_action(
+                    task.id, ActionStatus.FAILED,
+                    reason=f"workstation file {task.source_path!r} was not "
+                           "included in the consignment",
+                )
+                return
+        else:
+            try:
+                content = self.xspace.fs.read(task.source_path)
+            except VFSError as err:
+                run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
+                return
+        yield self.sim.timeout(len(content) / self.local_disk_bandwidth_Bps)
+        try:
+            uspace.write(task.destination_path, content)
+        except VFSError as err:
+            run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
+            return
+        outcome.bytes_moved = len(content)
+        outcome.completed_at = self.sim.now
+        run.finish_action(task.id, ActionStatus.SUCCESSFUL)
+
+    def _run_export(self, run, group, task: ExportTask):
+        uspace = run.uspaces[group.id]
+        outcome = run.outcomes[task.id]
+        outcome.submitted_at = self.sim.now
+        if not uspace.exists(task.source_path):
+            run.finish_action(
+                task.id, ActionStatus.FAILED,
+                reason=f"uspace file {task.source_path!r} does not exist",
+            )
+            return
+        content = uspace.read(task.source_path)
+        yield self.sim.timeout(len(content) / self.local_disk_bandwidth_Bps)
+        try:
+            self.xspace.fs.write(task.destination_path, content)
+        except VFSError as err:
+            run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
+            return
+        outcome.bytes_moved = len(content)
+        outcome.completed_at = self.sim.now
+        run.finish_action(task.id, ActionStatus.SUCCESSFUL)
+
+    def _run_transfer(self, run, group, task: TransferTask):
+        uspace = run.uspaces[group.id]
+        outcome = run.outcomes[task.id]
+        outcome.submitted_at = self.sim.now
+        if not uspace.exists(task.source_path):
+            run.finish_action(
+                task.id, ActionStatus.FAILED,
+                reason=f"uspace file {task.source_path!r} does not exist",
+            )
+            return
+        if task.destination_usite not in self._peer_routes:
+            run.finish_action(
+                task.id, ActionStatus.FAILED,
+                reason=f"no route to Usite {task.destination_usite!r}",
+            )
+            return
+        content = uspace.read(task.source_path)
+        corr_id = next(self._corr_seq)
+        message = TransferFile(
+            corr_id=corr_id,
+            reply_usite=self.usite_name,
+            parent_job_id=run.job_id,
+            destination_path=task.destination_path,
+            content=content,
+        )
+        started = self.sim.now
+        reply_ev = self.sim.event(name=f"transfer-ack:{corr_id}")
+        self._pending[corr_id] = reply_ev
+        from repro.net.errors import ConnectionLost
+
+        try:
+            yield from self._send_via_route(
+                task.destination_usite, message, message.wire_payload
+            )
+        except ConnectionLost as err:
+            self._pending.pop(corr_id, None)
+            run.finish_action(
+                task.id, ActionStatus.FAILED,
+                reason=f"transfer lost after retries: {err}",
+            )
+            return
+        ack = yield reply_ev
+        elapsed = self.sim.now - started
+        if ack.ok:
+            outcome.bytes_moved = len(content)
+            outcome.effective_bandwidth = (
+                len(content) / elapsed if elapsed > 0 else float("inf")
+            )
+            outcome.completed_at = self.sim.now
+            self.transfers_bytes += len(content)
+            run.finish_action(task.id, ActionStatus.SUCCESSFUL)
+        else:
+            run.finish_action(task.id, ActionStatus.FAILED, reason=ack.error)
+
+    # --------------------------------------------------------- peer traffic
+    def _forward_group(self, run, group, sub: AbstractJobObject, staged):
+        self.forwarded_groups += 1
+        return_files = tuple(
+            f
+            for dep in group.dependencies
+            if dep.predecessor_id == sub.id
+            for f in dep.files
+        )
+        # Ship the workstation files the subtree imports.
+        needed_ws = {
+            t.source_path
+            for a in sub.walk()
+            if isinstance(a, ImportTask)
+            and a.source_space == FileSpace.WORKSTATION
+            for t in [a]
+        }
+        ws_files = {
+            p: c for p, c in run.workstation_files.items() if p in needed_ws
+        }
+        ws_files.update(staged)
+        corr_id = next(self._corr_seq)
+        message = ForwardGroup(
+            corr_id=corr_id,
+            reply_usite=self.usite_name,
+            parent_job_id=run.job_id,
+            user_dn=run.user_dn,
+            ajo_bytes=encode_ajo(sub),
+            staged_files=ws_files,
+            return_files=return_files,
+        )
+        reply_ev = self.sim.event(name=f"group-result:{corr_id}")
+        self._pending[corr_id] = reply_ev
+        from repro.net.errors import ConnectionLost
+
+        try:
+            yield from self._send_via_route(
+                sub.usite, message, message.wire_payload
+            )
+        except ConnectionLost as err:
+            self._pending.pop(corr_id, None)
+            run.finish_action(
+                sub.id, ActionStatus.FAILED,
+                reason=f"job group lost in transit after retries: {err}",
+            )
+            return
+        result = yield reply_ev
+        if not result.ok:
+            # The whole group was rejected remotely: none of its children
+            # were attempted.
+            for action in sub.walk():
+                if action.id != sub.id:
+                    outcome = run.outcomes[action.id]
+                    if not outcome.status.is_terminal:
+                        outcome.mark(
+                            ActionStatus.NOT_ATTEMPTED,
+                            reason="group rejected by remote NJS",
+                        )
+            run.finish_action(sub.id, ActionStatus.FAILED, reason=result.error)
+            return
+        sub_outcome = typing.cast(AJOOutcome, decode_outcome(result.outcome_bytes))
+        self._merge_outcome(run, group, sub, sub_outcome)
+        if result.produced_files:
+            run.remote_files[sub.id] = dict(result.produced_files)
+        status = sub_outcome.rollup_status()
+        if not status.is_terminal:
+            status = ActionStatus.FAILED
+        run.finish_action(sub.id, status)
+
+    def _merge_outcome(
+        self, run, parent_group, sub: AbstractJobObject, sub_outcome: AJOOutcome
+    ) -> None:
+        """Splice a remote group's outcome tree into the job's tree."""
+        sub_outcome.action_id = sub.id
+        parent_outcome = typing.cast(AJOOutcome, run.outcomes[parent_group.id])
+        parent_outcome.children[sub.id] = sub_outcome
+        # Refresh the flat index for the whole subtree.
+        def _index(outcome) -> None:
+            run.outcomes[outcome.action_id] = outcome
+            if isinstance(outcome, AJOOutcome):
+                for child in outcome.children.values():
+                    _index(child)
+        # Keep the run's terminal-event object for sub.id; only the
+        # OUTCOME objects are replaced.
+        old_event = run.events.get(sub.id)
+        _index(sub_outcome)
+        if old_event is not None:
+            run.events[sub.id] = old_event
+
+    #: Bounded resend attempts for NJS-NJS messages on unreliable links
+    #: (the same asynchronous-protocol philosophy as the client tier).
+    PEER_RETRIES = 6
+    PEER_RETRY_DELAY_S = 5.0
+
+    def _send_via_route(self, usite: str, payload, payload_size: int):
+        """Send via the https route (NJS -> gateway -> peer gateway -> NJS).
+
+        First use of a route pays the SSL handshake round trips end to
+        end.  Every hop carries the record-framed byte count; endpoint
+        seal/open CPU is charged once.  Lost messages are resent up to
+        :data:`PEER_RETRIES` times; after that :class:`ConnectionLost`
+        propagates to the caller, which fails the affected action.
+        """
+        from repro.net.errors import ConnectionLost
+
+        route = self._peer_routes[usite]
+        if usite not in self._peer_sessions:
+            for _ in range(HANDSHAKE_ROUND_TRIPS):
+                for src, dst in route:
+                    yield from self._reliable_hop(
+                        src, dst, ("hs",), _HS_BYTES, "njs-handshake", False
+                    )
+                for src, dst in [(b, a) for a, b in reversed(route)]:
+                    yield from self._reliable_hop(
+                        src, dst, ("hs-ack",), _HS_BYTES, "njs-handshake", False
+                    )
+            self._peer_sessions.add(usite)
+        records = SSLSession.record_count(payload_size)
+        wire = SSLSession.wire_bytes(payload_size)
+        yield self.sim.timeout(records * self.per_record_cpu_s)  # seal
+        last = len(route) - 1
+        for i, (src, dst) in enumerate(route):
+            yield from self._reliable_hop(
+                src, dst, payload, wire, "njs-njs", i == last
+            )
+        yield self.sim.timeout(records * self.per_record_cpu_s)  # open
+
+    def _reliable_hop(
+        self, src: str, dst: str, payload, wire: int, channel: str,
+        deliver: bool,
+    ):
+        """One hop with bounded retransmission."""
+        from repro.net.errors import ConnectionLost
+
+        last_error: Exception | None = None
+        for attempt in range(1 + self.PEER_RETRIES):
+            try:
+                yield self.network.send(
+                    src, dst, payload, wire, channel=channel, deliver=deliver
+                )
+                return
+            except ConnectionLost as err:
+                last_error = err
+                if attempt < self.PEER_RETRIES:
+                    yield self.sim.timeout(self.PEER_RETRY_DELAY_S)
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------ server loop
+    def _server_loop(self):
+        while True:
+            message = yield self.host.receive()
+            self.dispatch_peer_message(message.payload)
+
+    def dispatch_peer_message(self, payload: object) -> bool:
+        """Handle one NJS-to-NJS message; returns True if it was ours."""
+        if isinstance(payload, ForwardGroup):
+            self.sim.process(self._handle_forward(payload))
+        elif isinstance(payload, TransferFile):
+            self.sim.process(self._handle_transfer(payload))
+        elif isinstance(payload, CancelGroup):
+            self._handle_cancel_group(payload)
+        elif isinstance(payload, (GroupResult, TransferAck)):
+            waiter = self._pending.pop(payload.corr_id, None)
+            if waiter is not None:
+                waiter.succeed(payload)
+        else:
+            return False
+        return True
+
+    def _handle_forward(self, message: ForwardGroup):
+        try:
+            sub = decode_ajo(message.ajo_bytes)
+            run = self.consign(
+                sub,
+                user_dn=message.user_dn,
+                workstation_files=message.staged_files,
+                parent_job_id=message.parent_job_id,
+            )
+        except Exception as err:  # noqa: BLE001 - reported back to the peer
+            from repro.net.errors import ConnectionLost
+
+            reply = GroupResult(
+                corr_id=message.corr_id, ok=False, error=str(err)
+            )
+            try:
+                yield from self._send_via_route(
+                    message.reply_usite, reply, reply.wire_payload
+                )
+            except ConnectionLost:
+                pass
+            return
+        # Also stash staged files into the group uspace on creation
+        # (handled by _early_files in _run_group).
+        self._early_files.setdefault(run.job_id, {}).update(message.staged_files)
+        # The parent expects these files back: the group's sink tasks
+        # must produce them.
+        run.group_expected[run.root.id] = tuple(message.return_files)
+        yield run.done_event
+        produced: dict[str, bytes] = {}
+        for path in message.return_files:
+            for uspace in run.uspaces.values():
+                if uspace.exists(path):
+                    produced[path] = uspace.read(path)
+                    break
+        reply = GroupResult(
+            corr_id=message.corr_id,
+            ok=True,
+            outcome_bytes=encode_outcome(run.root_outcome),
+            produced_files=produced,
+        )
+        from repro.net.errors import ConnectionLost
+
+        try:
+            yield from self._send_via_route(
+                message.reply_usite, reply, reply.wire_payload
+            )
+        except ConnectionLost:
+            pass  # the parent NJS will surface the missing result
+
+    def _handle_transfer(self, message: TransferFile):
+        run = self._foreign_runs.get(message.parent_job_id) or self._runs.get(
+            message.parent_job_id
+        )
+        stored = False
+        if run is not None:
+            for uspace in run.uspaces.values():
+                uspace.write(message.destination_path, message.content)
+                stored = True
+                break
+        if not stored:
+            # Group not consigned here (yet): stash for arrival, keyed by
+            # the parent job id every ForwardGroup of this job carries.
+            self._early_files.setdefault(message.parent_job_id, {})[
+                message.destination_path
+            ] = message.content
+            stored = True
+        yield self.sim.timeout(
+            len(message.content) / self.local_disk_bandwidth_Bps
+        )
+        ack = TransferAck(corr_id=message.corr_id, ok=stored)
+        from repro.net.errors import ConnectionLost
+
+        try:
+            yield from self._send_via_route(
+                message.reply_usite, ack, ack.wire_payload
+            )
+        except ConnectionLost:
+            pass  # sender retries are exhausted; it reports the failure
+
+    def _handle_cancel_group(self, message: CancelGroup) -> None:
+        run = self._foreign_runs.get(message.parent_job_id)
+        if run is not None:
+            self.cancel(run.job_id)
+
+    # ---------------------------------------------------------------- services
+    def get_run(self, job_id: str) -> JobRun:
+        try:
+            return self._runs[job_id]
+        except KeyError:
+            raise UnknownUnicoreJobError(
+                f"{self.usite_name}: unknown UNICORE job {job_id!r}"
+            ) from None
+
+    def list_jobs(self, user_dn: str) -> list[dict]:
+        """The ListService answer: the user's jobs at this NJS."""
+        return [
+            {
+                "job_id": run.job_id,
+                "name": run.root.name,
+                "status": run.status().value,
+                "submitted_at": run.submitted_at,
+            }
+            for run in self._runs.values()
+            if run.user_dn == user_dn
+        ]
+
+    def query_status(self, job_id: str, detail: str = "tasks") -> dict:
+        """The QueryService answer: the status tree at the chosen detail."""
+        run = self.get_run(job_id)
+
+        def render(group: AbstractJobObject) -> dict:
+            node = {
+                "id": group.id,
+                "name": group.name,
+                "status": typing.cast(
+                    AJOOutcome, run.outcomes[group.id]
+                ).rollup_status().value,
+                "color": typing.cast(
+                    AJOOutcome, run.outcomes[group.id]
+                ).rollup_status().display_color,
+            }
+            if detail in ("groups", "tasks"):
+                children = []
+                for child in group.children:
+                    if isinstance(child, AbstractJobObject):
+                        children.append(render(child))
+                    elif detail == "tasks":
+                        outcome = run.outcomes[child.id]
+                        children.append(
+                            {
+                                "id": child.id,
+                                "name": child.name,
+                                "status": outcome.status.value,
+                                "color": outcome.status.display_color,
+                            }
+                        )
+                node["children"] = children
+            return node
+
+        return render(run.root)
+
+    def retrieve_outcome(self, job_id: str) -> bytes:
+        """The full outcome tree (stdout/stderr included), encoded."""
+        return encode_outcome(self.get_run(job_id).root_outcome)
+
+    def fetch_uspace_file(self, job_id: str, path: str) -> bytes:
+        """One Uspace file, for sending back to the user's workstation.
+
+        Section 5.6: result data returns to the workstation "only on user
+        request while the user is working with the JMC".
+        """
+        run = self.get_run(job_id)
+        for uspace in run.uspaces.values():
+            if uspace.exists(path):
+                return uspace.read(path)
+        raise UnknownUnicoreJobError(
+            f"job {job_id} has no Uspace file {path!r} at {self.usite_name}"
+        )
+
+    def dispose(self, job_id: str) -> None:
+        """Release a terminal job: destroy its Uspaces, forget its state.
+
+        The NJS "create[s] a UNICORE job directory" per job (section 5.5);
+        disposal is the matching cleanup once the user is done with the
+        outcome.
+        """
+        run = self.get_run(job_id)
+        if not run.status().is_terminal:
+            raise ConsignError(
+                f"job {job_id} is {run.status().value}; cancel it before "
+                "disposing"
+            )
+        for group_id, uspace in run.uspaces.items():
+            group = next(
+                (a for a in run.root.walk() if a.id == group_id), None
+            )
+            if group is not None and getattr(group, "vsite", ""):
+                vsite = self.vsites.get(group.vsite)
+                if vsite is not None and uspace.job_id in vsite.uspaces.active_jobs:
+                    vsite.uspaces.destroy(uspace.job_id)
+        del self._runs[job_id]
+        for parent_id, foreign in list(self._foreign_runs.items()):
+            if foreign is run:
+                del self._foreign_runs[parent_id]
+
+    def hold(self, job_id: str) -> None:
+        """Stop delivering further parts of the job (already-submitted
+        batch jobs keep running — UNICORE cannot influence them)."""
+        run = self.get_run(job_id)
+        if run.status().is_terminal:
+            raise ConsignError(f"job {job_id} already terminal; cannot hold")
+        run.held = True
+
+    def resume(self, job_id: str) -> None:
+        """Release a held job's delivery."""
+        run = self.get_run(job_id)
+        run.held = False
+        if run.hold_released is not None and not run.hold_released.triggered:
+            run.hold_released.succeed()
+
+    def cancel(self, job_id: str) -> None:
+        """Cancel a job: kill batch jobs, propagate to forwarded groups."""
+        run = self.get_run(job_id)
+        if run.cancelled:
+            return
+        run.cancelled = True
+        # A held job's waiters must wake up to observe the cancellation.
+        if run.held:
+            self.resume(run.job_id)
+            run.cancelled = True
+        for action_id, (vsite_name, local_id) in run.batch_jobs.items():
+            batch = self.vsites[vsite_name].batch
+            record = batch.query(local_id)
+            if not record.state.is_terminal:
+                batch.cancel(local_id)
+        for sub in run.root.sub_jobs():
+            if sub.usite and sub.usite != self.usite_name and sub.usite in self._peer_routes:
+                message = CancelGroup(
+                    corr_id=next(self._corr_seq), parent_job_id=run.job_id
+                )
+                self.sim.process(
+                    self._send_as_process(sub.usite, message, message.wire_payload)
+                )
+
+    def _send_as_process(self, usite, message, size):
+        from repro.net.errors import ConnectionLost
+
+        try:
+            yield from self._send_via_route(usite, message, size)
+        except ConnectionLost:
+            pass  # fire-and-forget (cancellation is best-effort)
+
+    @property
+    def job_count(self) -> int:
+        return len(self._runs)

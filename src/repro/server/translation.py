@@ -1,0 +1,62 @@
+"""Site-maintained translation tables.
+
+Paper section 5.5: the NJS must "translate the abstract specifications
+into the local system specific nomenclature using translation tables"
+and "the UNICORE site administrator together with the Vsite system
+administrator establishes the environment for running UNICORE.  This
+includes setting up the translation tables".
+
+A :class:`TranslationTable` maps abstract software names to local
+invocations (``f90`` → ``xlf90`` on the SP-2), abstract environment
+variables to local ones, and supplies the local commands for the copy
+operations imports/exports boil down to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.errors import IncarnationError
+
+__all__ = ["TranslationTable"]
+
+
+@dataclass(slots=True)
+class TranslationTable:
+    """Abstract-to-local nomenclature for one Vsite."""
+
+    vsite: str
+    #: abstract compiler/tool name -> local invocation.
+    software: dict[str, str] = field(default_factory=dict)
+    #: abstract environment variable -> local name.
+    environment: dict[str, str] = field(default_factory=dict)
+    #: local command templates.
+    copy_command: str = "cp {src} {dst}"
+    run_prefix: str = ""  # e.g. "mpprun -n {cpus}" on the T3E
+
+    def map_software(self, abstract_name: str) -> str:
+        """Local invocation for an abstract software name."""
+        try:
+            return self.software[abstract_name]
+        except KeyError:
+            raise IncarnationError(
+                f"translation table for {self.vsite!r} has no entry for "
+                f"software {abstract_name!r}"
+            ) from None
+
+    def has_software(self, abstract_name: str) -> bool:
+        return abstract_name in self.software
+
+    def map_environment(self, env: dict[str, str]) -> dict[str, str]:
+        """Rename abstract environment variables to local names."""
+        return {self.environment.get(k, k): v for k, v in env.items()}
+
+    def render_run(self, executable: str, arguments: list[str], cpus: int) -> str:
+        """The command line that runs a user executable on this system."""
+        prefix = self.run_prefix.format(cpus=cpus) if self.run_prefix else ""
+        parts = ([prefix] if prefix else []) + [f"./{executable.lstrip('./')}"]
+        parts.extend(arguments)
+        return " ".join(parts)
+
+    def render_copy(self, src: str, dst: str) -> str:
+        return self.copy_command.format(src=src, dst=dst)

@@ -1,0 +1,156 @@
+"""A Usite: one UNICORE site assembled end to end.
+
+Paper section 4: "a UNICORE site (Usite) is defined as a computer center
+offering a UNICORE server and execution hosts grouped in so called
+Vsites."  A :class:`Usite` builds the whole Figure 1 stack for one
+center: gateway host (on the firewall), NJS host (inside), the firewall
+socket between them, the Vsites with their batch systems, the Xspace,
+the UUDB, and the site's server certificate.
+"""
+
+from __future__ import annotations
+
+from repro.batch.machines import MachineConfig
+from repro.net.transport import Network
+from repro.security.applet import SignedApplet
+from repro.security.ca import CertificateAuthority, CertificateStore
+from repro.security.uudb import UUDB, UserMapping
+from repro.security.x509 import CertificateRole, DistinguishedName
+from repro.server.gateway import Gateway
+from repro.server.njs.supervisor import NetworkJobSupervisor
+from repro.server.vsite import Vsite
+from repro.simkernel import Simulator
+from repro.vfs.spaces import Xspace
+
+__all__ = ["Usite"]
+
+#: Firewall-socket link between web server and NJS (section 5.2).
+INTERNAL_LATENCY_S = 0.0005
+INTERNAL_BANDWIDTH_BPS = 12_500_000.0  # 100 Mbit/s site LAN
+
+
+class Usite:
+    """One computer center running UNICORE."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        ca: CertificateAuthority,
+        machines: list[MachineConfig],
+        applets: dict[str, SignedApplet] | None = None,
+        schedulers: dict[str, object] | None = None,
+        firewall_split: bool = True,
+    ) -> None:
+        """``firewall_split`` separates the web server (on the firewall
+        host) from the NJS (inside), joined by the section 5.2 IP socket;
+        with ``False`` both run on one host (the no-firewall deployment).
+        """
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.firewall_split = firewall_split
+        self.gateway_host = network.add_host(f"{name}.gateway")
+        if firewall_split:
+            self.njs_host = network.add_host(f"{name}.njs")
+            network.link(
+                self.gateway_host.name,
+                self.njs_host.name,
+                latency_s=INTERNAL_LATENCY_S,
+                bandwidth_Bps=INTERNAL_BANDWIDTH_BPS,
+            )
+        else:
+            self.njs_host = self.gateway_host
+
+        self.xspace = Xspace(name)
+        self.uudb = UUDB(name)
+        self.cert_store = CertificateStore(trusted=[ca])
+        self.server_cert, self.server_key = ca.issue(
+            DistinguishedName(cn=f"gateway.{name.lower()}.de", o=name, c="DE"),
+            role=CertificateRole.SERVER,
+        )
+
+        schedulers = schedulers or {}
+        self.vsites: dict[str, Vsite] = {
+            m.name: Vsite(sim, m, scheduler=schedulers.get(m.name))
+            for m in machines
+        }
+
+        from repro.ext.accounting import AccountingLog
+
+        #: Section 6 "accounting functions": every UNICORE batch record
+        #: at this site is charged here.
+        self.accounting = AccountingLog()
+
+        self.njs = NetworkJobSupervisor(
+            sim=sim,
+            usite_name=name,
+            host=self.njs_host,
+            network=network,
+            uudb=self.uudb,
+            xspace=self.xspace,
+            vsites=self.vsites,
+            own_inbox=firewall_split,
+            accounting=self.accounting,
+        )
+        self.gateway = Gateway(
+            sim=sim,
+            usite_name=name,
+            host=self.gateway_host,
+            network=network,
+            cert_store=self.cert_store,
+            uudb=self.uudb,
+            njs=self.njs,
+            applets=applets,
+        )
+
+    # -- administration -----------------------------------------------------
+    def add_user(
+        self, dn: DistinguishedName | str, login: str, gid: str = "users",
+        vsite: str = "",
+    ) -> UserMapping:
+        """Register a local account mapping (the site administration's job)."""
+        return self.uudb.add_user(dn, login, gid=gid, vsite=vsite)
+
+    def connect_to(self, other: "Usite", latency_s: float = 0.015,
+                   bandwidth_Bps: float = 1_250_000.0,
+                   loss_probability: float = 0.0) -> None:
+        """Join two Usites: WAN link between gateways plus NJS peer routes.
+
+        NJS-to-NJS traffic travels "via the gateway" (section 5.6):
+        NJS → own gateway → peer gateway → peer NJS.
+        """
+        try:
+            self.network.get_link(self.gateway_host.name, other.gateway_host.name)
+        except Exception:
+            self.network.link(
+                self.gateway_host.name,
+                other.gateway_host.name,
+                latency_s=latency_s,
+                bandwidth_Bps=bandwidth_Bps,
+                loss_probability=loss_probability,
+            )
+        def _route(hops: list[tuple[str, str]]) -> list[tuple[str, str]]:
+            # Co-located gateway/NJS collapses that hop.
+            return [(a, b) for a, b in hops if a != b]
+
+        self.njs.register_peer(
+            other.name,
+            route=_route([
+                (self.njs_host.name, self.gateway_host.name),
+                (self.gateway_host.name, other.gateway_host.name),
+                (other.gateway_host.name, other.njs_host.name),
+            ]),
+        )
+        other.njs.register_peer(
+            self.name,
+            route=_route([
+                (other.njs_host.name, other.gateway_host.name),
+                (other.gateway_host.name, self.gateway_host.name),
+                (self.gateway_host.name, self.njs_host.name),
+            ]),
+        )
+
+    def __repr__(self) -> str:
+        return f"<Usite {self.name} vsites={sorted(self.vsites)}>"

@@ -1,0 +1,24 @@
+"""Exceptions for the virtual filesystem."""
+
+__all__ = [
+    "VFSError",
+    "FileNotFoundVFSError",
+    "FileExistsVFSError",
+    "QuotaExceededError",
+]
+
+
+class VFSError(Exception):
+    """Base class for virtual-filesystem errors."""
+
+
+class FileNotFoundVFSError(VFSError):
+    """The path does not exist."""
+
+
+class FileExistsVFSError(VFSError):
+    """The path already exists and overwrite was not requested."""
+
+
+class QuotaExceededError(VFSError):
+    """Writing would exceed the filesystem quota."""

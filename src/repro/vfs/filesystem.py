@@ -1,0 +1,181 @@
+"""An in-memory filesystem with quota accounting.
+
+Paths are ``/``-separated, always normalized to an absolute form without
+``.`` or ``..`` components.  Directories are implicit (created by writing
+files under them) but can also be created empty.  The quota covers file
+content bytes only.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.vfs.errors import (
+    FileExistsVFSError,
+    FileNotFoundVFSError,
+    QuotaExceededError,
+    VFSError,
+)
+
+__all__ = ["InMemoryFileSystem", "normalize"]
+
+
+def normalize(path: str) -> str:
+    """Normalize to ``/a/b/c`` form; rejects escapes above the root."""
+    if not path:
+        raise VFSError("empty path")
+    parts: list[str] = []
+    for comp in path.split("/"):
+        if comp in ("", "."):
+            continue
+        if comp == "..":
+            if not parts:
+                raise VFSError(f"path {path!r} escapes the filesystem root")
+            parts.pop()
+        else:
+            parts.append(comp)
+    return "/" + "/".join(parts)
+
+
+class InMemoryFileSystem:
+    """Files as ``path -> bytes`` with explicit empty directories.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages (e.g. ``"FZJ:/xspace"``).
+    quota_bytes:
+        Total content bytes allowed (``inf`` = unlimited).
+    """
+
+    def __init__(self, name: str = "fs", quota_bytes: float = float("inf")) -> None:
+        if quota_bytes <= 0:
+            raise VFSError("quota must be positive")
+        self.name = name
+        self.quota_bytes = quota_bytes
+        self._files: dict[str, bytes] = {}
+        self._dirs: set[str] = {"/"}
+        self._used = 0
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.quota_bytes - self._used
+
+    def exists(self, path: str) -> bool:
+        p = normalize(path)
+        return p in self._files or p in self._dirs
+
+    def is_file(self, path: str) -> bool:
+        return normalize(path) in self._files
+
+    def is_dir(self, path: str) -> bool:
+        return normalize(path) in self._dirs
+
+    def size(self, path: str) -> int:
+        p = normalize(path)
+        try:
+            return len(self._files[p])
+        except KeyError:
+            raise FileNotFoundVFSError(f"{self.name}: no file {p}") from None
+
+    def file_count(self) -> int:
+        return len(self._files)
+
+    # -- directory ops ----------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        """Create a directory (and ancestors); idempotent."""
+        p = normalize(path)
+        if p in self._files:
+            raise FileExistsVFSError(f"{self.name}: {p} is a file")
+        self._add_ancestors(p)
+        self._dirs.add(p)
+
+    def _add_ancestors(self, p: str) -> None:
+        parts = [c for c in p.split("/") if c]
+        for i in range(len(parts)):
+            parent = "/" + "/".join(parts[: i + 1])
+            if parent in self._files:
+                raise FileExistsVFSError(
+                    f"{self.name}: {parent} is a file, cannot be a directory"
+                )
+            self._dirs.add(parent)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Immediate children (names, not paths) of a directory, sorted."""
+        p = normalize(path)
+        if p not in self._dirs:
+            raise FileNotFoundVFSError(f"{self.name}: no directory {p}")
+        prefix = p.rstrip("/") + "/"
+        children = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != p and candidate.startswith(prefix):
+                children.add(candidate[len(prefix):].split("/", 1)[0])
+        return sorted(children)
+
+    def walk_files(self, path: str = "/") -> typing.Iterator[str]:
+        """All file paths under ``path`` (sorted)."""
+        p = normalize(path)
+        prefix = "/" if p == "/" else p + "/"
+        for fpath in sorted(self._files):
+            if fpath == p or fpath.startswith(prefix):
+                yield fpath
+
+    # -- file ops -------------------------------------------------------------------
+    def write(self, path: str, content: bytes, overwrite: bool = True) -> None:
+        """Write ``content``; quota-checked net of any replaced file."""
+        if not isinstance(content, (bytes, bytearray)):
+            raise VFSError(f"content must be bytes, got {type(content).__name__}")
+        p = normalize(path)
+        if p in self._dirs:
+            raise FileExistsVFSError(f"{self.name}: {p} is a directory")
+        if p in self._files and not overwrite:
+            raise FileExistsVFSError(f"{self.name}: {p} exists")
+        delta = len(content) - len(self._files.get(p, b""))
+        if self._used + delta > self.quota_bytes:
+            raise QuotaExceededError(
+                f"{self.name}: writing {len(content)} bytes to {p} exceeds "
+                f"quota ({self._used + delta} > {self.quota_bytes})"
+            )
+        parent = p.rsplit("/", 1)[0] or "/"
+        self._add_ancestors(parent)
+        self._files[p] = bytes(content)
+        self._used += delta
+
+    def read(self, path: str) -> bytes:
+        p = normalize(path)
+        try:
+            return self._files[p]
+        except KeyError:
+            raise FileNotFoundVFSError(f"{self.name}: no file {p}") from None
+
+    def append(self, path: str, content: bytes) -> None:
+        """Append to a file, creating it if absent."""
+        existing = self._files.get(normalize(path), b"")
+        self.write(path, existing + content)
+
+    def delete(self, path: str) -> None:
+        """Delete a file, or a directory recursively."""
+        p = normalize(path)
+        if p in self._files:
+            self._used -= len(self._files.pop(p))
+            return
+        if p in self._dirs:
+            if p == "/":
+                raise VFSError(f"{self.name}: refusing to delete the root")
+            prefix = p + "/"
+            for fpath in [f for f in self._files if f.startswith(prefix)]:
+                self._used -= len(self._files.pop(fpath))
+            self._dirs = {d for d in self._dirs if d != p and not d.startswith(prefix)}
+            return
+        raise FileNotFoundVFSError(f"{self.name}: no such path {p}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<InMemoryFileSystem {self.name} files={len(self._files)} "
+            f"used={self._used}B>"
+        )

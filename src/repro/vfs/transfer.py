@@ -1,0 +1,53 @@
+"""Local copy primitives with byte accounting.
+
+Imports from Xspace to Uspace and exports back "are implemented as a copy
+process available at the Vsite" (section 5.6) — i.e. they do not cross
+the network.  These helpers perform such copies between any two
+filesystem-like objects and report the bytes moved so outcomes and
+benchmarks can account for them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["copy_file", "copy_tree"]
+
+
+class _Readable(typing.Protocol):  # pragma: no cover - structural typing only
+    def read(self, path: str) -> bytes: ...
+
+
+class _Writable(typing.Protocol):  # pragma: no cover
+    def write(self, path: str, content: bytes) -> None: ...
+
+
+def copy_file(
+    source: _Readable, source_path: str, destination: _Writable, destination_path: str
+) -> int:
+    """Copy one file; returns the number of bytes moved."""
+    content = source.read(source_path)
+    destination.write(destination_path, content)
+    return len(content)
+
+
+def copy_tree(
+    source,
+    source_root: str,
+    destination: _Writable,
+    destination_root: str,
+) -> int:
+    """Copy every file under ``source_root``; returns total bytes moved.
+
+    ``source`` must offer ``walk_files``/``read`` (an
+    :class:`~repro.vfs.filesystem.InMemoryFileSystem`).
+    """
+    total = 0
+    prefix = source_root.rstrip("/") + "/"
+    for path in source.walk_files(source_root):
+        rel = path[len(prefix):] if path.startswith(prefix) else path.lstrip("/")
+        dest = destination_root.rstrip("/") + "/" + rel
+        content = source.read(path)
+        destination.write(dest, content)
+        total += len(content)
+    return total

@@ -1,0 +1,71 @@
+"""Property-based tests for the ASN.1 codec."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resources import asn1
+
+# Finite floats whose repr round-trips exactly (excludes NaN; inf is fine
+# via repr but float('inf') -> 'inf' parses back, so allow it).
+finite_floats = st.floats(allow_nan=False)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**128), max_value=2**128),
+    finite_floats,
+    st.text(max_size=50),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=10), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+def _equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_equal(a[k], b[k]) for k in a)
+    return a == b and type(a) is type(b)
+
+
+@given(values)
+@settings(max_examples=300)
+def test_roundtrip(value):
+    assert _equal(asn1.decode(asn1.encode(value)), value)
+
+
+@given(values)
+def test_encoding_is_deterministic(value):
+    assert asn1.encode(value) == asn1.encode(value)
+
+
+@given(st.integers(min_value=-(2**256), max_value=2**256))
+def test_integer_roundtrip_wide(n):
+    assert asn1.decode(asn1.encode(n)) == n
+
+
+@given(st.text())
+def test_string_roundtrip_unicode(s):
+    assert asn1.decode(asn1.encode(s)) == s
+
+
+@given(st.binary(max_size=64))
+def test_decoder_never_crashes_unhandled(data):
+    """Arbitrary bytes either decode or raise ResourcePageError — nothing else."""
+    from repro.resources.errors import ResourcePageError
+
+    try:
+        asn1.decode(data)
+    except ResourcePageError:
+        pass

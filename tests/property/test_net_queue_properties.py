@@ -1,0 +1,83 @@
+"""Property tests: network delivery invariants and queue-selection totality."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network
+from repro.simkernel import Simulator
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=1,
+                max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_lossless_link_delivers_in_order(sizes):
+    """FIFO serialization: whatever the message sizes, a lossless link
+    delivers in send order, and arrival times are nondecreasing."""
+    sim = Simulator()
+    net = Network(sim, seed=0)
+    net.add_host("a")
+    net.add_host("b")
+    net.link("a", "b", latency_s=0.01, bandwidth_Bps=10_000.0)
+    arrivals = []
+
+    def receiver(sim):
+        host = net.host("b")
+        for _ in range(len(sizes)):
+            message = yield host.receive()
+            arrivals.append((sim.now, message.payload))
+
+    sim.process(receiver(sim))
+    for i, size in enumerate(sizes):
+        net.send("a", "b", i, size)
+    sim.run()
+    order = [p for _, p in arrivals]
+    assert order == list(range(len(sizes)))
+    times = [t for t, _ in arrivals]
+    assert times == sorted(times)
+    assert net.host("b").received_bytes == sum(sizes)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=1,
+                max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_link_busy_time_conserved(sizes):
+    """Total transfer completion time >= serialized transmission time."""
+    sim = Simulator()
+    net = Network(sim, seed=0)
+    net.add_host("a")
+    net.add_host("b")
+    bw = 5_000.0
+    net.link("a", "b", latency_s=0.0, bandwidth_Bps=bw)
+    events = [net.send("a", "b", i, s) for i, s in enumerate(sizes)]
+    sim.run()
+    assert sim.now >= sum(sizes) / bw - 1e-9
+
+
+@st.composite
+def page_admissible_requests(draw):
+    from repro.resources import ResourceRequest
+
+    return ResourceRequest(
+        cpus=draw(st.integers(1, 512)),
+        time_s=draw(st.floats(1.0, 86400.0)),
+        memory_mb=draw(st.floats(1.0, 512 * 128.0)),
+    )
+
+
+@given(page_admissible_requests())
+@settings(max_examples=150, deadline=None)
+def test_every_page_admissible_request_finds_a_queue(request):
+    """The default queue layout is total over the resource page: anything
+    the page admits, some queue admits (the NJS never strands a job
+    between the client-side check and the local submission)."""
+    from repro.batch import machine
+    from repro.resources.check import check_request
+    from repro.server.njs.incarnation import select_queue
+    from repro.server.vsite import Vsite
+
+    sim = Simulator()
+    vsite = Vsite(sim, machine("FZJ-T3E"))
+    if check_request(vsite.resource_page, request).ok:
+        queue_name = select_queue(vsite, request)
+        queue = vsite.batch.queues[queue_name]
+        assert not queue.admits(request)  # empty violation list

@@ -1,0 +1,82 @@
+"""Property-based tests for simulation-kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Container, Simulator, Store
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                  max_size=40)
+
+
+@given(delays)
+@settings(max_examples=200, deadline=None)
+def test_clock_is_monotone_and_events_ordered(ds):
+    sim = Simulator()
+    seen = []
+    for d in ds:
+        sim.timeout(d, value=d).callbacks.append(
+            lambda e: seen.append((sim.now, e.value))
+        )
+    sim.run()
+    # Fired in nondecreasing time order, at exactly their delays.
+    times = [t for t, _ in seen]
+    assert times == sorted(times)
+    assert sorted(v for _, v in seen) == sorted(ds)
+    for fired_at, delay in seen:
+        assert fired_at == delay
+    assert sim.now == max(ds)
+
+
+@given(delays, delays)
+@settings(max_examples=100, deadline=None)
+def test_store_is_fifo_for_any_schedule(producer_gaps, consumer_gaps):
+    """Whatever the timing, items come out in the order they went in."""
+    sim = Simulator()
+    store = Store(sim)
+    n = min(len(producer_gaps), len(consumer_gaps))
+    got = []
+
+    def producer(sim):
+        for i in range(n):
+            yield sim.timeout(producer_gaps[i])
+            store.put(i)
+
+    def consumer(sim):
+        for i in range(n):
+            yield sim.timeout(consumer_gaps[i])
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == list(range(n))
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.lists(
+        st.tuples(st.integers(1, 16), st.floats(0.1, 100.0)),
+        min_size=1, max_size=25,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_container_never_overcommits(capacity, jobs):
+    sim = Simulator()
+    pool = Container(sim, capacity=capacity)
+    peak = {"in_use": 0.0}
+
+    def job(sim, need, hold):
+        need = min(need, capacity)
+        yield pool.get(need)
+        peak["in_use"] = max(peak["in_use"], pool.in_use)
+        assert pool.in_use <= capacity + 1e-9
+        yield sim.timeout(hold)
+        pool.put(need)
+
+    for need, hold in jobs:
+        sim.process(job(sim, need, hold))
+    sim.run()
+    assert pool.available == capacity  # everything returned
+    assert peak["in_use"] <= capacity + 1e-9

@@ -1,0 +1,86 @@
+"""Property-based tests for the virtual filesystem quota invariant."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vfs import InMemoryFileSystem, VFSError
+from repro.vfs.errors import QuotaExceededError
+from repro.vfs.filesystem import normalize
+
+segments = st.text(string.ascii_lowercase + string.digits, min_size=1,
+                   max_size=6)
+paths = st.builds(lambda parts: "/" + "/".join(parts),
+                  st.lists(segments, min_size=1, max_size=3))
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), paths, st.binary(max_size=64)),
+        st.tuples(st.just("append"), paths, st.binary(max_size=32)),
+        st.tuples(st.just("delete"), paths, st.none()),
+    ),
+    max_size=40,
+)
+
+
+@given(ops, st.integers(min_value=1, max_value=500))
+@settings(max_examples=200, deadline=None)
+def test_quota_invariant_under_any_op_sequence(operations, quota):
+    """used_bytes always equals the sum of file sizes and never exceeds
+    the quota, no matter what sequence of operations runs."""
+    fs = InMemoryFileSystem(quota_bytes=quota)
+    for op, path, data in operations:
+        try:
+            if op == "write":
+                fs.write(path, data)
+            elif op == "append":
+                fs.append(path, data)
+            else:
+                fs.delete(path)
+        except VFSError:
+            pass  # rejected operations must leave state consistent
+        total = sum(fs.size(p) for p in fs.walk_files())
+        assert fs.used_bytes == total
+        assert fs.used_bytes <= quota
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_read_returns_last_write(operations):
+    fs = InMemoryFileSystem()
+    shadow = {}
+    for op, path, data in operations:
+        p = normalize(path)
+        try:
+            if op == "write":
+                fs.write(path, data)
+                shadow[p] = data
+            elif op == "append":
+                fs.append(path, data)
+                shadow[p] = shadow.get(p, b"") + data
+            else:
+                fs.delete(path)
+                if p in shadow:
+                    del shadow[p]
+                else:
+                    # deleted a directory: drop everything under it
+                    shadow = {
+                        k: v for k, v in shadow.items()
+                        if not k.startswith(p + "/")
+                    }
+        except VFSError:
+            continue
+    for p, expected in shadow.items():
+        assert fs.read(p) == expected
+
+
+@given(paths, st.binary(min_size=1, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_quota_rejection_is_atomic(path, data):
+    fs = InMemoryFileSystem(quota_bytes=max(1, len(data) - 1))
+    try:
+        fs.write(path, data)
+    except QuotaExceededError:
+        assert fs.used_bytes == 0
+        assert not fs.is_file(path)

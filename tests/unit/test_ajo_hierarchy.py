@@ -1,0 +1,111 @@
+"""Figure 3 reproduction: assert the exact AJO class hierarchy."""
+
+import pytest
+
+from repro.ajo import (
+    AbstractAction,
+    AbstractJobObject,
+    AbstractService,
+    AbstractTaskObject,
+    CompileTask,
+    ControlService,
+    ExecuteScriptTask,
+    ExecuteTask,
+    ExportTask,
+    FileTask,
+    ImportTask,
+    LinkTask,
+    ListService,
+    QueryService,
+    TransferTask,
+    UserTask,
+)
+
+
+def test_figure3_top_level():
+    """AbstractAction has exactly the three Figure 3 branches."""
+    assert issubclass(AbstractJobObject, AbstractAction)
+    assert issubclass(AbstractTaskObject, AbstractAction)
+    assert issubclass(AbstractService, AbstractAction)
+    # The branches are siblings, not nested.
+    assert not issubclass(AbstractTaskObject, AbstractJobObject)
+    assert not issubclass(AbstractService, AbstractTaskObject)
+
+
+def test_figure3_execute_branch():
+    for cls in (CompileTask, LinkTask, UserTask, ExecuteScriptTask):
+        assert issubclass(cls, ExecuteTask)
+        assert issubclass(cls, AbstractTaskObject)
+    assert issubclass(ExecuteTask, AbstractTaskObject)
+
+
+def test_figure3_file_branch():
+    for cls in (ImportTask, ExportTask, TransferTask):
+        assert issubclass(cls, FileTask)
+        assert issubclass(cls, AbstractTaskObject)
+    assert not issubclass(FileTask, ExecuteTask)
+
+
+def test_figure3_service_branch():
+    for cls in (ControlService, ListService, QueryService):
+        assert issubclass(cls, AbstractService)
+        assert not issubclass(cls, AbstractTaskObject)
+
+
+def test_every_concrete_action_has_distinct_type_tag():
+    concrete = [
+        AbstractJobObject, UserTask, ExecuteScriptTask, CompileTask, LinkTask,
+        ImportTask, ExportTask, TransferTask, ControlService, ListService,
+        QueryService,
+    ]
+    tags = [cls.type_tag for cls in concrete]
+    assert len(tags) == len(set(tags))
+
+
+def test_outcome_association_covers_hierarchy():
+    """Section 5.3: Outcome has a subclass associated with each action type."""
+    from repro.ajo import (
+        AJOOutcome,
+        FileOutcome,
+        ServiceOutcome,
+        TaskOutcome,
+        outcome_class_for,
+    )
+
+    job = AbstractJobObject("j", vsite="V")
+    assert outcome_class_for(job) is AJOOutcome
+    assert outcome_class_for(UserTask("t", executable="a.out")) is TaskOutcome
+    assert outcome_class_for(CompileTask("c", sources=["m.f90"])) is TaskOutcome
+    assert (
+        outcome_class_for(ImportTask("i", source_path="a", destination_path="b"))
+        is FileOutcome
+    )
+    assert (
+        outcome_class_for(
+            TransferTask("t", source_path="a", destination_path="b",
+                         destination_usite="ZIB")
+        )
+        is FileOutcome
+    )
+    assert outcome_class_for(ListService("l")) is ServiceOutcome
+    assert outcome_class_for(QueryService("q", target_job_id="x")) is ServiceOutcome
+
+
+def test_action_requires_name():
+    with pytest.raises(ValueError):
+        AbstractJobObject("")
+
+
+def test_action_ids_unique_and_prefixed():
+    a = UserTask("a", executable="x")
+    b = UserTask("b", executable="x")
+    assert a.id != b.id
+    assert a.id.startswith("use")
+
+
+def test_action_equality_by_payload():
+    a = UserTask("same", executable="x", action_id="fixed")
+    b = UserTask("same", executable="x", action_id="fixed")
+    c = UserTask("same", executable="y", action_id="fixed")
+    assert a == b
+    assert a != c

@@ -1,0 +1,134 @@
+"""Direct unit tests for gateway behaviours hard to reach via clients."""
+
+import pytest
+
+from repro.grid import build_grid
+from repro.protocol.messages import Reply, Request, RequestKind
+
+
+@pytest.fixture()
+def wired():
+    grid = build_grid({"FZJ": ["FZJ-T3E"]}, seed=59)
+    user = grid.add_user("GW User", logins={"FZJ": "gw"})
+    session = grid.connect_user(user, "FZJ")
+    return grid, user, session
+
+
+def test_request_from_unregistered_host_is_dropped(wired):
+    """A request arriving outside any authenticated channel gets no reply
+    and counts as an authentication failure."""
+    grid, user, session = wired
+    gateway = grid.usites["FZJ"].gateway
+    before = gateway.auth_failures
+    # Craft a raw request into the gateway inbox from a host that never
+    # performed the handshake.
+    grid.network.add_host("intruder")
+    grid.network.link("intruder", gateway.host.name)
+    request = Request(kind=RequestKind.LIST, user_dn="CN=Nobody", payload=b"{}")
+    grid.network.send("intruder", gateway.host.name, request, request.wire_size)
+    grid.sim.run()
+    assert gateway.auth_failures == before + 1
+    assert grid.network.host("intruder").received_messages == 0  # no reply
+
+
+def test_reply_cache_returns_identical_reply(wired):
+    grid, user, session = wired
+    gateway = grid.usites["FZJ"].gateway
+    from repro.ajo import ListService, encode_service
+
+    request = Request(
+        kind=RequestKind.LIST, user_dn=session.user_dn,
+        payload=encode_service(ListService("l")),
+    )
+    replies = []
+
+    def scenario(sim):
+        r1 = yield from session.client.interact(request)
+        replies.append(r1)
+
+    p = grid.sim.process(scenario(grid.sim))
+    grid.sim.run(until=p)
+    cached = gateway._reply_cache[request.request_id]
+    assert isinstance(cached, Reply)
+    assert cached.payload == replies[0].payload
+
+
+def test_revoked_mid_session_certificate_refused_per_request(wired):
+    """Revocation takes effect on the *next request*, not just the next
+    connection — the gateway re-validates every time."""
+    grid, user, session = wired
+    from repro.client import JobMonitorController
+
+    jmc = JobMonitorController(session)
+
+    def list_jobs(sim):
+        return (yield from jmc.list_jobs())
+
+    p = grid.sim.process(list_jobs(grid.sim))
+    assert grid.sim.run(until=p) == []
+
+    grid.ca.revoke(user.browser.user_cert, reason="compromised")
+
+    p2 = grid.sim.process(list_jobs(grid.sim))
+    with pytest.raises(RuntimeError, match="authentication failed"):
+        grid.sim.run(until=p2)
+
+
+def test_serve_unknown_applet_raises(wired):
+    grid, user, session = wired
+    from repro.server import ServerError
+
+    with pytest.raises(ServerError, match="no applet"):
+        grid.usites["FZJ"].gateway.serve_applet("Backdoor")
+
+
+def test_resource_pages_decode_for_all_vsites(wired):
+    grid, user, session = wired
+    from repro.resources import ResourcePage
+
+    pages = grid.usites["FZJ"].gateway.resource_pages()
+    assert set(pages) == {"FZJ-T3E"}
+    page = ResourcePage.from_asn1(pages["FZJ-T3E"])
+    assert page.vsite == "FZJ-T3E"
+
+
+def test_malformed_consignment_rejected_cleanly(wired):
+    grid, user, session = wired
+
+    def scenario(sim):
+        request = Request(
+            kind=RequestKind.CONSIGN_JOB, user_dn=session.user_dn,
+            payload=b"this is not a consignment",
+        )
+        reply = yield from session.client.interact(request)
+        return reply
+
+    p = grid.sim.process(scenario(grid.sim))
+    reply = grid.sim.run(until=p)
+    assert not reply.ok
+    assert "malformed consignment" in reply.error
+
+
+def test_ajo_user_mismatch_rejected(wired):
+    """An AJO naming a different user than the authenticated one."""
+    grid, user, session = wired
+    from repro.ajo import AbstractJobObject, ExecuteScriptTask, encode_ajo
+    from repro.protocol.consignment import encode_consignment
+
+    ajo = AbstractJobObject(
+        "forged", vsite="FZJ-T3E", user_dn="CN=Somebody Else"
+    )
+    ajo.add(ExecuteScriptTask("t", script="#!/bin/sh\nx\n"))
+
+    def scenario(sim):
+        request = Request(
+            kind=RequestKind.CONSIGN_JOB, user_dn=session.user_dn,
+            payload=encode_consignment(encode_ajo(ajo)),
+        )
+        reply = yield from session.client.interact(request)
+        return reply
+
+    p = grid.sim.process(scenario(grid.sim))
+    reply = grid.sim.run(until=p)
+    assert not reply.ok
+    assert "names user" in reply.error

@@ -1,0 +1,258 @@
+"""Unit tests for the high-level protocol: async client, sync baseline."""
+
+import pytest
+
+from repro.net import Network, establish_https
+from repro.protocol import (
+    AsyncProtocolClient,
+    Reply,
+    ReplyRouter,
+    Request,
+    RetryExhausted,
+    RetryPolicy,
+    SyncProtocolClient,
+)
+from repro.security import CertificateAuthority, CertificateStore, DistinguishedName
+from repro.security.x509 import CertificateRole
+from repro.simkernel import Simulator
+
+
+@pytest.fixture(scope="module")
+def pki():
+    ca = CertificateAuthority(key_bits=384, seed=41)
+    store = CertificateStore(trusted=[ca])
+    c_cert, c_key = ca.issue(DistinguishedName(cn="Client"), role=CertificateRole.USER)
+    s_cert, s_key = ca.issue(
+        DistinguishedName(cn="gw.site"), role=CertificateRole.SERVER
+    )
+    return dict(
+        client_cert=c_cert, client_key=c_key,
+        server_cert=s_cert, server_key=s_key,
+        client_store=store, server_store=store,
+    )
+
+
+def build(pki, loss=0.0, seed=0, **client_kw):
+    """A client + trivial ack server over a lossy link."""
+    sim = Simulator()
+    net = Network(sim, seed=seed)
+    net.add_host("client")
+    net.add_host("server")
+    # Establish on a clean link (TCP retransmits handshake segments on a
+    # real network), then inject the application-visible loss rate.
+    net.link("client", "server", latency_s=0.01, bandwidth_Bps=1e6)
+
+    state = {}
+
+    def wiring(sim):
+        channel = yield from establish_https(sim, net, "client", "server", **pki)
+        state["channel"] = channel
+        router = ReplyRouter(sim, net.host("client"))
+        state["client"] = AsyncProtocolClient(sim, channel, router, **client_kw)
+
+    p = sim.process(wiring(sim))
+    sim.run(until=p)
+    net.get_link("client", "server").loss_probability = loss
+    net.get_link("server", "client").loss_probability = loss
+
+    def server_loop(sim):
+        host = net.host("server")
+        seen = set()
+        while True:
+            message = yield host.receive()
+            request = message.payload
+            if not isinstance(request, Request):
+                continue
+            if request.request_id in seen:
+                continue  # idempotent consign: duplicate suppressed
+            seen.add(request.request_id)
+            reply = Reply(
+                request_id=request.request_id, ok=True,
+                payload=b"ack:" + request.payload[:16],
+            )
+            state["channel"].send(reply, reply.wire_size, to_server=False)
+
+    sim.process(server_loop(sim))
+    return sim, net, state["client"]
+
+
+# -------------------------------------------------------------- messages
+def test_request_validates_kind_and_payload():
+    with pytest.raises(ValueError):
+        Request(kind="teleport", user_dn="CN=x", payload=b"")
+    with pytest.raises(TypeError):
+        Request(kind="query", user_dn="CN=x", payload="text")
+
+
+def test_request_ids_increase():
+    a = Request(kind="query", user_dn="CN=x", payload=b"")
+    b = Request(kind="query", user_dn="CN=x", payload=b"")
+    assert b.request_id > a.request_id
+
+
+def test_wire_size_includes_envelope():
+    r = Request(kind="query", user_dn="CN=x", payload=b"12345")
+    assert r.wire_size == 256 + 5
+    assert Reply(request_id=1, ok=True, payload=b"123").wire_size == 256 + 3
+
+
+# ------------------------------------------------------------------ retry
+def test_retry_policy_backoff_capped():
+    p = RetryPolicy(max_attempts=5, base_delay_s=1.0, backoff_factor=2.0,
+                    max_delay_s=5.0)
+    assert [p.delay_for(i) for i in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy().delay_for(0)
+
+
+# ----------------------------------------------------------------- async
+def test_async_interaction_lossless(pki):
+    sim, net, client = build(pki)
+
+    def user(sim):
+        reply = yield from client.consign(b"AJO-BYTES", user_dn="CN=Client")
+        return reply
+
+    p = sim.process(user(sim))
+    reply = sim.run(until=p)
+    assert reply.ok
+    assert reply.payload == b"ack:AJO-BYTES"
+    assert client.requests_sent == 1
+    assert client.retries == 0
+
+
+def test_async_interaction_retries_through_loss(pki):
+    sim, net, client = build(
+        pki, loss=0.4, seed=11,
+        retry=RetryPolicy(max_attempts=50, base_delay_s=0.5, max_delay_s=2.0),
+    )
+
+    def user(sim):
+        reply = yield from client.consign(b"JOB", user_dn="CN=Client")
+        return reply
+
+    p = sim.process(user(sim))
+    reply = sim.run(until=p)
+    assert reply.ok
+    assert client.requests_sent >= 1
+
+
+def test_async_gives_up_after_policy(pki):
+    sim, net, client = build(
+        pki, loss=0.999, seed=5,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.1),
+    )
+
+    def user(sim):
+        yield from client.consign(b"JOB", user_dn="CN=Client")
+
+    p = sim.process(user(sim))
+    with pytest.raises(RetryExhausted):
+        sim.run(until=p)
+    assert client.retries == 3
+
+
+def test_poll_until_terminal(pki):
+    sim, net, client = build(pki, poll_interval_s=1.0)
+    polls = []
+
+    def is_done(reply):
+        polls.append(reply)
+        return len(polls) >= 3  # "terminal" on the third poll
+
+    def user(sim):
+        reply = yield from client.poll_until(
+            make_query=lambda: b"status?", user_dn="CN=Client", is_done=is_done
+        )
+        return reply
+
+    p = sim.process(user(sim))
+    reply = sim.run(until=p)
+    assert reply.ok
+    assert len(polls) == 3
+    assert client.requests_sent == 3
+
+
+def test_router_rejects_duplicate_expectation(pki):
+    sim, net, client = build(pki)
+    client.router.expect(9999)
+    with pytest.raises(ValueError):
+        client.router.expect(9999)
+
+
+# ------------------------------------------------------------------- sync
+def _sync_client(pki, loss, seed, job_duration=60.0, attempts=3):
+    sim = Simulator()
+    net = Network(sim, seed=seed)
+    net.add_host("client")
+    net.add_host("server")
+    net.link("client", "server", latency_s=0.01, bandwidth_Bps=1e6)
+    state = {}
+
+    def wiring(sim):
+        channel = yield from establish_https(sim, net, "client", "server", **pki)
+        state["sync"] = SyncProtocolClient(
+            sim, channel, retry=RetryPolicy(max_attempts=attempts, base_delay_s=0.1)
+        )
+
+    p = sim.process(wiring(sim))
+    sim.run(until=p)
+    net.get_link("client", "server").loss_probability = loss
+    net.get_link("server", "client").loss_probability = loss
+    return sim, state["sync"]
+
+
+def test_sync_completes_on_clean_link(pki):
+    sim, sync = _sync_client(pki, loss=0.0, seed=0)
+
+    def user(sim):
+        reply = yield from sync.submit_and_hold(
+            b"JOB", user_dn="CN=Client", job_duration_s=60.0
+        )
+        return reply
+
+    p = sim.process(user(sim))
+    reply = sim.run(until=p)
+    assert reply.ok
+    assert sync.interactions_started == 1
+    assert sync.interactions_broken == 0
+    # Interaction spans the whole job duration.
+    assert sim.now >= 60.0
+
+
+def test_sync_breaks_under_loss_where_async_survives(pki):
+    """The paper's robustness claim, in miniature: same loss rate, the
+    sync interaction (≈25 messages over 60s) dies while short async
+    interactions retried independently get through."""
+    loss = 0.10
+
+    sim, sync = _sync_client(pki, loss=loss, seed=3, attempts=2)
+
+    def sync_user(sim):
+        yield from sync.submit_and_hold(b"JOB", "CN=Client", job_duration_s=60.0)
+
+    p = sim.process(sync_user(sim))
+    with pytest.raises(RetryExhausted):
+        sim.run(until=p)
+    assert sync.interactions_broken == 2
+
+    sim2, net2, async_client = build(
+        pki, loss=loss, seed=3,
+        retry=RetryPolicy(max_attempts=20, base_delay_s=0.2, max_delay_s=1.0),
+    )
+
+    def async_user(sim):
+        reply = yield from async_client.consign(b"JOB", user_dn="CN=Client")
+        return reply
+
+    p2 = sim2.process(async_user(sim2))
+    assert sim2.run(until=p2).ok

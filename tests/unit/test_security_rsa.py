@@ -1,0 +1,144 @@
+"""Unit tests for number theory and RSA signatures."""
+
+import random
+
+import pytest
+
+from repro.security import RSAKeyPair, SignatureInvalid, sign, verify
+from repro.security.numbertheory import (
+    egcd,
+    generate_prime,
+    is_probable_prime,
+    modinv,
+)
+
+KEY = RSAKeyPair.generate(bits=384, seed=7)  # shared; keygen is the slow part
+
+
+# ----------------------------------------------------------- number theory
+def test_egcd_basic():
+    g, x, y = egcd(240, 46)
+    assert g == 2
+    assert 240 * x + 46 * y == 2
+
+
+def test_modinv():
+    assert (3 * modinv(3, 11)) % 11 == 1
+    assert (17 * modinv(17, 3120)) % 3120 == 1
+
+
+def test_modinv_not_coprime():
+    with pytest.raises(ValueError):
+        modinv(4, 8)
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 7, 97, 7919, 104729])
+def test_known_primes(p):
+    assert is_probable_prime(p, random.Random(0))
+
+
+@pytest.mark.parametrize("n", [0, 1, 4, 100, 7917, 104730, 561, 41041])
+def test_known_composites(n):
+    # includes Carmichael numbers 561, 41041
+    assert not is_probable_prime(n, random.Random(0))
+
+
+def test_generate_prime_bit_length():
+    rng = random.Random(42)
+    for bits in (16, 32, 64):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p, rng)
+
+
+def test_generate_prime_too_small():
+    with pytest.raises(ValueError):
+        generate_prime(4, random.Random(0))
+
+
+def test_generate_prime_deterministic():
+    assert generate_prime(32, random.Random(5)) == generate_prime(32, random.Random(5))
+
+
+# ------------------------------------------------------------------- RSA
+def test_keygen_deterministic():
+    k1 = RSAKeyPair.generate(bits=384, seed=1)
+    k2 = RSAKeyPair.generate(bits=384, seed=1)
+    assert k1.public == k2.public
+    assert k1.d == k2.d
+
+
+def test_keygen_different_seeds_differ():
+    k1 = RSAKeyPair.generate(bits=384, seed=1)
+    k2 = RSAKeyPair.generate(bits=384, seed=2)
+    assert k1.public != k2.public
+
+
+def test_keygen_rejects_tiny_modulus():
+    with pytest.raises(ValueError):
+        RSAKeyPair.generate(bits=64, seed=0)
+
+
+def test_sign_verify_roundtrip():
+    sig = sign(KEY, b"hello unicore")
+    verify(KEY.public, b"hello unicore", sig)  # must not raise
+
+
+def test_verify_rejects_modified_data():
+    sig = sign(KEY, b"original")
+    with pytest.raises(SignatureInvalid):
+        verify(KEY.public, b"originaX", sig)
+
+
+def test_verify_rejects_modified_signature():
+    sig = sign(KEY, b"data")
+    with pytest.raises(SignatureInvalid):
+        verify(KEY.public, b"data", sig + 1)
+
+
+def test_verify_rejects_wrong_key():
+    other = RSAKeyPair.generate(bits=384, seed=99)
+    sig = sign(KEY, b"data")
+    with pytest.raises(SignatureInvalid):
+        verify(other.public, b"data", sig)
+
+
+def test_verify_rejects_out_of_range_signature():
+    with pytest.raises(SignatureInvalid):
+        verify(KEY.public, b"data", 0)
+    with pytest.raises(SignatureInvalid):
+        verify(KEY.public, b"data", KEY.public.n)
+    with pytest.raises(SignatureInvalid):
+        verify(KEY.public, b"data", "bogus")
+
+
+def test_signature_deterministic():
+    assert sign(KEY, b"abc") == sign(KEY, b"abc")
+
+
+def test_empty_message_signs():
+    sig = sign(KEY, b"")
+    verify(KEY.public, b"", sig)
+
+
+def test_public_key_fingerprint_stable_and_distinct():
+    other = RSAKeyPair.generate(bits=384, seed=99)
+    assert KEY.public.fingerprint() == KEY.public.fingerprint()
+    assert KEY.public.fingerprint() != other.public.fingerprint()
+    assert len(KEY.public.fingerprint()) == 16
+
+
+def test_public_key_dict_roundtrip():
+    from repro.security import RSAPublicKey
+
+    d = KEY.public.to_dict()
+    assert RSAPublicKey.from_dict(d) == KEY.public
+
+
+def test_keypair_sign_method():
+    sig = KEY.sign(b"method")
+    verify(KEY.public, b"method", sig)
+
+
+def test_key_bits_property():
+    assert KEY.public.bits == 384

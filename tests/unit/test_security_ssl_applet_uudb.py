@@ -1,0 +1,290 @@
+"""Unit tests for the SSL handshake, signed applets, and the UUDB."""
+
+import pytest
+
+from repro.security import (
+    AppletBundle,
+    AuthenticationError,
+    CertificateAuthority,
+    CertificateStore,
+    DistinguishedName,
+    MappingError,
+    SignatureInvalid,
+    TamperedBundleError,
+    UUDB,
+    sign_applet,
+    ssl_handshake,
+    verify_applet,
+)
+from repro.security.ssl import SSLSession
+from repro.security.x509 import CertificateRole
+
+
+@pytest.fixture(scope="module")
+def pki():
+    ca = CertificateAuthority(key_bits=384, seed=3)
+    store = CertificateStore(trusted=[ca])
+    user_cert, user_key = ca.issue(
+        DistinguishedName(cn="Alice", o="FZJ", c="DE"), role=CertificateRole.USER
+    )
+    server_cert, server_key = ca.issue(
+        DistinguishedName(cn="gateway.fzj.de", o="FZJ", c="DE"),
+        role=CertificateRole.SERVER,
+    )
+    dev_cert, dev_key = ca.issue(
+        DistinguishedName(cn="UNICORE Dev Team", o="Consortium"),
+        role=CertificateRole.SOFTWARE,
+    )
+    return {
+        "ca": ca,
+        "store": store,
+        "user": (user_cert, user_key),
+        "server": (server_cert, server_key),
+        "dev": (dev_cert, dev_key),
+    }
+
+
+def _handshake(pki, **overrides):
+    kwargs = dict(
+        client_cert=pki["user"][0],
+        client_key=pki["user"][1],
+        server_cert=pki["server"][0],
+        server_key=pki["server"][1],
+        client_store=pki["store"],
+        server_store=pki["store"],
+        now=100.0,
+    )
+    kwargs.update(overrides)
+    return ssl_handshake(**kwargs)
+
+
+# -------------------------------------------------------------------- SSL
+def test_handshake_mutual_success(pki):
+    session = _handshake(pki)
+    assert session.client.peer_certificate == pki["server"][0]
+    assert session.server.peer_certificate == pki["user"][0]
+
+
+def test_handshake_rejects_untrusted_server(pki):
+    rogue_ca = CertificateAuthority(key_bits=384, seed=666)
+    cert, key = rogue_ca.issue(
+        DistinguishedName(cn="rogue.example"), role=CertificateRole.SERVER
+    )
+    with pytest.raises(AuthenticationError, match="server certificate"):
+        _handshake(pki, server_cert=cert, server_key=key)
+
+
+def test_handshake_rejects_untrusted_client(pki):
+    rogue_ca = CertificateAuthority(key_bits=384, seed=667)
+    cert, key = rogue_ca.issue(
+        DistinguishedName(cn="Mallory"), role=CertificateRole.USER
+    )
+    with pytest.raises(AuthenticationError, match="client certificate"):
+        _handshake(pki, client_cert=cert, client_key=key)
+
+
+def test_handshake_rejects_stolen_certificate(pki):
+    # Mallory presents Alice's certificate but does not hold her key.
+    mallory_key = pki["server"][1]  # some other key
+    with pytest.raises(AuthenticationError, match="client key"):
+        _handshake(pki, client_key=mallory_key)
+
+
+def test_handshake_rejects_revoked_user(pki):
+    ca = pki["ca"]
+    cert, key = ca.issue(DistinguishedName(cn="Soon Revoked"), role=CertificateRole.USER)
+    ca.revoke(cert)
+    with pytest.raises(AuthenticationError):
+        _handshake(pki, client_cert=cert, client_key=key)
+
+
+def test_session_record_roundtrip(pki):
+    session = _handshake(pki)
+    record = session.client.seal(b"consign job 42")
+    assert session.server.open(record) == b"consign job 42"
+
+
+def test_session_detects_tampered_record(pki):
+    session = _handshake(pki)
+    record = bytearray(session.client.seal(b"payload"))
+    record[7] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        session.server.open(bytes(record))
+
+
+def test_session_detects_replay(pki):
+    session = _handshake(pki)
+    record = session.client.seal(b"one")
+    assert session.server.open(record) == b"one"
+    with pytest.raises(AuthenticationError):  # sequence number advanced
+        session.server.open(record)
+
+
+def test_session_rejects_short_record(pki):
+    session = _handshake(pki)
+    with pytest.raises(AuthenticationError):
+        session.server.open(b"tiny")
+
+
+def test_record_payload_limit(pki):
+    session = _handshake(pki)
+    with pytest.raises(ValueError):
+        session.client.seal(b"x" * 20000)
+
+
+def test_wire_byte_accounting():
+    assert SSLSession.record_count(0) == 1
+    assert SSLSession.record_count(16384) == 1
+    assert SSLSession.record_count(16385) == 2
+    assert SSLSession.wire_bytes(100) == 100 + 37
+    assert SSLSession.wire_bytes(32768) == 32768 + 2 * 37
+
+
+# ------------------------------------------------------------------ applets
+def _bundle():
+    b = AppletBundle(name="JPA", version="1.0")
+    b.add_file("jpa/Main.class", b"\xca\xfe\xba\xbe main")
+    b.add_file("jpa/JobTree.class", b"\xca\xfe\xba\xbe tree")
+    return b
+
+
+def test_applet_sign_verify(pki):
+    applet = sign_applet(_bundle(), *pki["dev"])
+    verify_applet(applet)  # must not raise
+
+
+def test_applet_detects_modified_file(pki):
+    applet = sign_applet(_bundle(), *pki["dev"])
+    applet.bundle.files["jpa/Main.class"] = b"\xca\xfe\xba\xbe evil"
+    with pytest.raises(TamperedBundleError):
+        verify_applet(applet)
+
+
+def test_applet_detects_added_file(pki):
+    applet = sign_applet(_bundle(), *pki["dev"])
+    applet.bundle.files["jpa/Backdoor.class"] = b"boo"
+    with pytest.raises(TamperedBundleError):
+        verify_applet(applet)
+
+
+def test_applet_detects_removed_file(pki):
+    applet = sign_applet(_bundle(), *pki["dev"])
+    del applet.bundle.files["jpa/JobTree.class"]
+    with pytest.raises(TamperedBundleError):
+        verify_applet(applet)
+
+
+def test_applet_requires_software_role(pki):
+    with pytest.raises(SignatureInvalid):
+        sign_applet(_bundle(), *pki["user"])
+
+
+def test_applet_requires_matching_key(pki):
+    dev_cert, _ = pki["dev"]
+    _, wrong_key = pki["user"]
+    with pytest.raises(SignatureInvalid):
+        sign_applet(_bundle(), dev_cert, wrong_key)
+
+
+def test_bundle_duplicate_file_rejected():
+    b = _bundle()
+    with pytest.raises(ValueError):
+        b.add_file("jpa/Main.class", b"again")
+
+
+def test_bundle_total_size():
+    assert _bundle().total_size == sum(len(v) for v in _bundle().files.values())
+
+
+# -------------------------------------------------------------------- UUDB
+def test_uudb_basic_mapping(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="alice01", gid="zam")
+    mapping = db.map_certificate(cert)
+    assert mapping.login == "alice01"
+    assert mapping.gid == "zam"
+
+
+def test_uudb_unknown_dn(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    with pytest.raises(MappingError, match="no local account"):
+        db.map_certificate(cert)
+
+
+def test_uudb_vsite_override(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="alice01")
+    db.add_user(cert.subject, login="al_t3e", vsite="T3E")
+    assert db.map_certificate(cert).login == "alice01"
+    assert db.map_certificate(cert, vsite="T3E").login == "al_t3e"
+    assert db.map_certificate(cert, vsite="SP2").login == "alice01"
+
+
+def test_uudb_vsite_only_mapping_rejects_other_vsites(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="al_t3e", vsite="T3E")
+    assert db.map_certificate(cert, vsite="T3E").login == "al_t3e"
+    with pytest.raises(MappingError):
+        db.map_certificate(cert, vsite="SP2")
+    with pytest.raises(MappingError):
+        db.map_certificate(cert)
+
+
+def test_uudb_duplicate_mapping_rejected(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="a")
+    with pytest.raises(ValueError):
+        db.add_user(cert.subject, login="b")
+
+
+def test_uudb_disable_enable(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="alice01")
+    db.disable(cert.subject)
+    with pytest.raises(MappingError, match="disabled"):
+        db.map_certificate(cert)
+    db.enable(cert.subject)
+    assert db.map_certificate(cert).login == "alice01"
+
+
+def test_uudb_remove(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="alice01")
+    db.remove(cert.subject)
+    assert len(db) == 0
+    with pytest.raises(MappingError):
+        db.remove(cert.subject)
+
+
+def test_uudb_site_check_hook(pki):
+    db = UUDB("DWD")  # a smart-card site
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="alice01")
+    db.install_site_check(lambda c: False)  # smart card always refused
+    with pytest.raises(MappingError, match="site-specific"):
+        db.map_certificate(cert)
+    db.install_site_check(lambda c: True)
+    assert db.map_certificate(cert).login == "alice01"
+
+
+def test_uudb_lookup_counter(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="alice01")
+    for _ in range(3):
+        db.map_certificate(cert)
+    assert db.lookups == 3
+
+
+def test_uudb_known_dns(pki):
+    db = UUDB("FZJ")
+    cert, _ = pki["user"]
+    db.add_user(cert.subject, login="x")
+    assert db.known_dns() == [str(cert.subject)]

@@ -1,0 +1,115 @@
+"""Tests for the job-timeline builder and the grid monitor."""
+
+import pytest
+
+from repro.client import JobMonitorController, JobPreparationAgent
+from repro.grid import build_grid
+from repro.grid.monitor import GridMonitor
+from repro.grid.timeline import job_timeline, render_gantt
+
+
+@pytest.fixture()
+def finished_pipeline():
+    grid = build_grid({"FZJ": ["FZJ-T3E"]}, seed=79)
+    user = grid.add_user("Tim", logins={"FZJ": "tim"})
+    session = grid.connect_user(user, "FZJ")
+    jpa = JobPreparationAgent(session)
+    jmc = JobMonitorController(session)
+    grid.usites["FZJ"].xspace.fs.write("/in/data.dat", b"x" * 4096)
+
+    job = jpa.new_job("timed", vsite="FZJ-T3E")
+    imp = job.import_from_xspace("/in/data.dat", "data.dat")
+    work = job.script_task("crunch", script="#!/bin/sh\nx\n",
+                           simulated_runtime_s=120.0)
+    exp = job.export_to_xspace("out.dat", "/out/out.dat")
+    job.depends(imp, work, files=["data.dat"])
+    job.depends(work, exp, files=["out.dat"])
+
+    def scenario(sim):
+        job_id = yield from jpa.submit(job)
+        yield from jmc.wait_for_completion(job_id)
+        return job_id
+
+    p = grid.sim.process(scenario(grid.sim))
+    job_id = grid.sim.run(until=p)
+    return grid, job_id
+
+
+# ----------------------------------------------------------------- timeline
+def test_timeline_covers_all_timed_actions(finished_pipeline):
+    grid, job_id = finished_pipeline
+    njs = grid.usites["FZJ"].njs
+    entries = job_timeline(njs, job_id)
+    labels = [e.label for e in entries]
+    assert any("import" in label for label in labels)
+    assert any("crunch [run@FZJ-T3E]" in label for label in labels)
+    assert any("export" in label for label in labels)
+    # Chronological and non-negative durations.
+    starts = [e.start for e in entries]
+    assert starts == sorted(starts)
+    assert all(e.duration >= 0 for e in entries)
+    # Execution span matches the simulated runtime.
+    run_entry = next(e for e in entries if "[run@" in e.label)
+    assert run_entry.duration == pytest.approx(120.0)
+
+
+def test_timeline_ordering_respects_dependencies(finished_pipeline):
+    grid, job_id = finished_pipeline
+    njs = grid.usites["FZJ"].njs
+    entries = job_timeline(njs, job_id)
+    by_label = {e.label: e for e in entries}
+    imp = next(e for e in entries if "import" in e.label)
+    run = next(e for e in entries if "[run@" in e.label)
+    exp = next(e for e in entries if "export" in e.label)
+    assert imp.end <= run.start + 1e-9 or imp.end <= run.end
+    assert run.end <= exp.start + 1e-9
+
+
+def test_render_gantt_output(finished_pipeline):
+    grid, job_id = finished_pipeline
+    njs = grid.usites["FZJ"].njs
+    text = render_gantt(job_timeline(njs, job_id))
+    assert "#" in text
+    assert "crunch" in text
+    assert "successful" in text
+
+
+def test_render_gantt_empty():
+    assert render_gantt([]) == "(no timed entries)"
+
+
+# ------------------------------------------------------------------ monitor
+def test_grid_monitor_samples_all_vsites():
+    grid = build_grid({"FZJ": ["FZJ-T3E"], "ZIB": ["ZIB-SP2"]}, seed=83)
+    monitor = GridMonitor(grid, period_s=100.0, horizon_s=1000.0)
+    grid.sim.run()
+    vsites = {s.vsite for s in monitor.samples}
+    assert vsites == {"FZJ-T3E", "ZIB-SP2"}
+    series = monitor.series("FZJ-T3E")
+    assert len(series) == 10  # t=0..900
+    times = [s.time for s in series]
+    assert times == sorted(times)
+
+
+def test_grid_monitor_sees_load():
+    from repro.grid import LocalLoadGenerator, WorkloadProfile
+    from repro.simkernel import derive_rng
+
+    grid = build_grid({"DWD": ["DWD-SX4"]}, seed=83)
+    batch = grid.usites["DWD"].vsites["DWD-SX4"].batch
+    LocalLoadGenerator(
+        grid.sim, batch, derive_rng(83, "l"),
+        arrival_rate_per_s=1 / 200.0,
+        profile=WorkloadProfile(mean_runtime_s=3600.0, max_cpus=32),
+        horizon_s=20_000.0,
+    )
+    monitor = GridMonitor(grid, period_s=500.0, horizon_s=20_000.0)
+    grid.sim.run()
+    assert monitor.peak_queue_depth()["DWD-SX4"] > 0
+    assert 0.0 < monitor.mean_utilization()["DWD-SX4"] <= 1.0
+
+
+def test_grid_monitor_validates_period():
+    grid = build_grid({"FZJ": ["FZJ-T3E"]}, seed=83)
+    with pytest.raises(ValueError):
+        GridMonitor(grid, period_s=0)
