@@ -7,17 +7,61 @@ pytest-benchmark report); implementation-cost experiments use
 pytest-benchmark in the ordinary way.
 
 Run with output:  pytest benchmarks/ --benchmark-only -s
+
+Smoke mode: running a benchmark module directly with ``--smoke`` (or
+with ``REPRO_SMOKE=1`` in the environment) executes a fast-path variant
+— fewer/shorter configurations, crash-detection only — which is what CI
+runs on every push.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 import typing
 
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import build_grid
 from repro.resources import ResourceRequest
 
-__all__ = ["print_table", "single_site_session", "run_simple_job"]
+__all__ = [
+    "print_table",
+    "single_site_session",
+    "run_simple_job",
+    "smoke_mode",
+    "NullBenchmark",
+    "run_as_script",
+]
+
+
+def smoke_mode() -> bool:
+    """True when running the fast CI smoke path."""
+    return "--smoke" in sys.argv or os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
+class NullBenchmark:
+    """Stand-in for the pytest-benchmark fixture outside pytest.
+
+    Lets a benchmark module run as a plain script (the CI smoke gate)
+    without pytest-benchmark installed or active.
+    """
+
+    def pedantic(self, target, args=(), kwargs=None, rounds=1, iterations=1):
+        return target(*args, **(kwargs or {}))
+
+    def __call__(self, target, *args, **kwargs):
+        return target(*args, **kwargs)
+
+
+def run_as_script(*test_functions) -> None:
+    """Execute benchmark test functions directly (``python -m benchmarks.X``).
+
+    Each function receives a :class:`NullBenchmark`; any exception
+    propagates, so a non-zero exit code marks the smoke run failed.
+    """
+    for fn in test_functions:
+        print(f"-- {fn.__name__}{' [smoke]' if smoke_mode() else ''}")
+        fn(NullBenchmark())
 
 
 def print_table(

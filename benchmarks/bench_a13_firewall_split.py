@@ -19,7 +19,7 @@ caveats.
 import pytest
 
 from benchmarks._util import print_table
-from repro.client import JobMonitorController, JobPreparationAgent
+from repro.client import JobMonitorController
 from repro.grid import build_grid
 
 
@@ -29,10 +29,6 @@ def _request_latency(firewall_split: bool, n_requests: int = 30) -> float:
     # Rebuild the second site variant by flag: build_grid always splits,
     # so construct the non-split Usite directly when asked.
     if not firewall_split:
-        from repro.server.usite import Usite
-        from repro.batch.machines import machine
-
-        grid2_sim = grid.sim  # reuse nothing; build a fresh grid instead
         import repro.grid.build as gb
 
         sim = __import__("repro.simkernel", fromlist=["Simulator"]).Simulator()

@@ -18,7 +18,6 @@ utilization from both populations.
 import pytest
 
 from benchmarks._util import print_table
-from repro.ajo import ActionStatus
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import (
     LocalLoadGenerator,

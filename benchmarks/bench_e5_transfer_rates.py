@@ -39,7 +39,6 @@ def _https_transfer_time(size: int) -> float:
         seed=4, wan_latency_s=WAN_LAT, wan_bandwidth_Bps=WAN_BW,
     )
     njs_a = grid.usites["A"].njs
-    njs_b = grid.usites["B"].njs
     # Make a job context at B to receive the file (transfer stash works
     # even without it, but keep it realistic).
     payload = TransferFile(

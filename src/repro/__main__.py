@@ -1,16 +1,27 @@
-"""``python -m repro`` — a one-command live demonstration.
+"""``python -m repro`` — live demonstration and trace inspection.
 
-Builds the six-site German grid of paper section 5.7, renders the
-architecture figures from the live system, runs a small multi-site job,
-and prints the JMC view — the fastest way to see the reproduction work.
+``repro demo`` (the default) builds the six-site German grid of paper
+section 5.7, renders the architecture figures from the live system, runs
+a small multi-site job, and prints the JMC view.
+
+``repro trace`` runs one quickstart job end to end and pretty-prints its
+span tree — the per-job trace assembled as the AJO flows client →
+gateway → NJS → batch → outcome return — optionally exporting the trace
+and the metrics snapshot as JSON.
 """
+
+import argparse
+import json
+import sys
 
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import build_german_grid, figure1, figure2
+from repro.grid.metrics import TierTimes
+from repro.observability import telemetry_for
 from repro.resources import ResourceRequest
 
 
-def main() -> None:
+def demo() -> None:
     print("Building the six-site German UNICORE grid (paper section 5.7)...")
     grid = build_german_grid(seed=1999)
     user = grid.add_user(
@@ -57,5 +68,91 @@ def main() -> None:
           "experiment suite (see EXPERIMENTS.md).")
 
 
+def run_traced_job(runtime_s: float = 600.0):
+    """Run one single-site quickstart job; returns ``(grid, session, job_id)``.
+
+    The job's trace is afterwards available from
+    ``telemetry_for(grid.sim).tracer.trace(job_id)``.
+    """
+    grid = build_german_grid(seed=1999)
+    user = grid.add_user(
+        "Trace User", organization="FZ Juelich",
+        logins={site: "trace" for site in grid.usites},
+    )
+    session = grid.connect_user(user, "FZJ")
+    jpa = JobPreparationAgent(session)
+    jmc = JobMonitorController(session)
+
+    job = jpa.new_job("traced", vsite="FZJ-T3E")
+    job.script_task(
+        "work", script="#!/bin/sh\nwork\n",
+        resources=ResourceRequest(cpus=8, time_s=max(3600.0, 2 * runtime_s)),
+        simulated_runtime_s=runtime_s,
+    )
+
+    def scenario(sim):
+        job_id = yield from jpa.submit(job)
+        yield from jmc.wait_for_completion(job_id)
+        yield from jmc.outcome(job_id)
+        return job_id
+
+    job_id = grid.sim.run(until=grid.sim.process(scenario(grid.sim)))
+    return grid, session, job_id
+
+
+def trace_command(args: argparse.Namespace) -> None:
+    grid, session, job_id = run_traced_job(runtime_s=args.runtime)
+    telemetry = telemetry_for(grid.sim)
+    trace = telemetry.tracer.trace(job_id)
+    session_trace = (
+        telemetry.tracer.trace(session.trace_id) if session.trace_id else None
+    )
+
+    print(f"job {job_id} (simulated until t={grid.sim.now:.1f}s)")
+    print()
+    print(trace.render())
+    print()
+    print("tier breakdown (TierTimes.from_trace):")
+    tiers = TierTimes.from_trace(trace, session_trace=session_trace)
+    for label, seconds in tiers.rows():
+        print(f"  {label:<32} {seconds:>10.3f}s")
+    print(f"  {'middleware total':<32} {tiers.middleware_total():>10.3f}s")
+
+    if args.json:
+        export = {
+            "job_id": job_id,
+            "trace": trace.to_json(),
+            "session_trace": session_trace.to_json() if session_trace else None,
+            "metrics": telemetry.metrics.snapshot(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(export, fh, indent=2)
+        print(f"\nwrote JSON export to {args.json}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UNICORE reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="run the six-site grid demonstration")
+    trace_parser = sub.add_parser(
+        "trace", help="run one job and pretty-print its span tree"
+    )
+    trace_parser.add_argument(
+        "--runtime", type=float, default=600.0,
+        help="simulated execution time of the traced job (seconds)",
+    )
+    trace_parser.add_argument(
+        "--json", metavar="PATH", default="",
+        help="also write the trace + metrics snapshot as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "trace":
+        trace_command(args)
+    else:
+        demo()
+
+
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

@@ -16,8 +16,7 @@ paper's NJS has to live with.
 from __future__ import annotations
 
 import enum
-import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
 
 from repro.batch.dialects import dialect_for
@@ -29,6 +28,7 @@ from repro.batch.errors import (
 )
 from repro.batch.machines import MachineConfig
 from repro.batch.scheduling import FCFSScheduler
+from repro.observability import telemetry_for
 from repro.resources.model import ResourceSet
 from repro.simkernel import Event, Interrupt, Simulator
 
@@ -124,6 +124,9 @@ class BatchJobSpec:
     stderr_text: str = ""
     workdir: object | None = None
     origin: str = "local"
+    #: Trace context from the consigning NJS (empty = untraced).
+    trace_id: str = ""
+    parent_span_id: str = ""
 
     @property
     def actual_runtime(self) -> float:
@@ -144,6 +147,8 @@ class BatchJobRecord:
     reason: str = ""
     completion_event: Event | None = None
     _process: object = None
+    _wait_span: object = None
+    _run_span: object = None
 
     @property
     def wait_time(self) -> float | None:
@@ -231,6 +236,18 @@ class BatchSystem:
             submit_time=self.sim.now,
             completion_event=self.sim.event(name=f"completion:{spec.name}"),
         )
+        telemetry = telemetry_for(self.sim)
+        telemetry.metrics.counter("batch.submitted").inc()
+        if spec.trace_id:
+            record._wait_span = telemetry.tracer.start_span(
+                "batch.wait",
+                spec.trace_id,
+                parent=spec.parent_span_id or None,
+                tier="batch",
+                job=spec.name,
+                queue=spec.queue,
+                machine=self.machine.name,
+            )
         self._records[record.job_id] = record
         self._pending.append(record)
         self._schedule_pass()
@@ -308,6 +325,20 @@ class BatchSystem:
         self.free_cpus -= need
         record.state = BatchState.RUNNING
         record.start_time = self.sim.now
+        telemetry = telemetry_for(self.sim)
+        telemetry.metrics.histogram("batch.wait_seconds").observe(
+            record.wait_time or 0.0
+        )
+        if record._wait_span is not None:
+            telemetry.tracer.end_span(record._wait_span)
+            record._run_span = telemetry.tracer.start_span(
+                "batch.execute",
+                record.spec.trace_id,
+                parent=record.spec.parent_span_id or None,
+                tier="batch",
+                job=record.spec.name,
+                cpus=record.spec.resources.cpus,
+            )
         self._running[record.job_id] = record
         record._process = self.sim.process(
             self._run(record), name=f"run:{record.job_id}"
@@ -381,5 +412,18 @@ class BatchSystem:
         record.exit_code = exit_code
         record.reason = reason
         record._process = None
+        telemetry = telemetry_for(self.sim)
+        if record.start_time is not None:
+            telemetry.metrics.histogram("batch.execute_seconds").observe(
+                record.end_time - record.start_time
+            )
+        failure = None if state is BatchState.DONE else (reason or state.value)
+        if record._wait_span is not None and not record._wait_span.finished:
+            # Cancelled while queued: the wait span is all there was.
+            telemetry.tracer.end_span(record._wait_span, error=failure)
+        if record._run_span is not None:
+            telemetry.tracer.end_span(
+                record._run_span.set(state=state.value), error=failure
+            )
         assert record.completion_event is not None
         record.completion_event.succeed(record)

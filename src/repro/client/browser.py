@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.net.https import HttpsChannel, establish_https
 from repro.net.transport import Network
+from repro.observability import telemetry_for
 from repro.protocol.client import AsyncProtocolClient, ReplyRouter
 from repro.protocol.retry import RetryPolicy
 from repro.resources.page import ResourcePage
@@ -36,6 +37,8 @@ class UnicoreSession:
     client: AsyncProtocolClient
     resource_pages: dict[str, ResourcePage]
     applets: dict[str, SignedApplet] = field(default_factory=dict)
+    #: Trace of the connect sequence (handshake, applet load, pages).
+    trace_id: str = ""
 
 
 class Browser:
@@ -82,6 +85,11 @@ class Browser:
         then applet download + signature verification, then resource-page
         retrieval.  Returns a :class:`UnicoreSession`.
         """
+        tracer = telemetry_for(self.sim).tracer
+        session_trace = tracer.new_trace("session")
+        handshake_span = tracer.start_span(
+            "client.handshake", session_trace, tier="user", usite=usite.name
+        )
         channel = yield from establish_https(
             self.sim,
             self.network,
@@ -94,10 +102,14 @@ class Browser:
             client_store=self.trust_store,
             server_store=usite.cert_store,
         )
+        tracer.end_span(handshake_span)
         usite.gateway.register_channel(self.host.name, channel)
 
         # Applets load "from the server into the Web browser only in case
         # of successful user authentication".
+        applet_span = tracer.start_span(
+            "client.applet_load", session_trace, tier="user"
+        )
         applets: dict[str, SignedApplet] = {}
         for name in applet_names:
             applet = usite.gateway.serve_applet(name)
@@ -114,8 +126,17 @@ class Browser:
             except TamperedBundleError:
                 raise
             applets[name] = applet
+        tracer.end_span(
+            applet_span.set(
+                applets=len(applets),
+                bytes=sum(a.bundle.total_size for a in applets.values()),
+            )
+        )
 
         # Resource pages ship with the applet (section 5.4).
+        pages_span = tracer.start_span(
+            "client.resource_pages", session_trace, tier="user"
+        )
         pages_asn1 = usite.gateway.resource_pages()
         total = sum(len(b) for b in pages_asn1.values())
         if total:
@@ -126,6 +147,7 @@ class Browser:
             vsite: ResourcePage.from_asn1(blob)
             for vsite, blob in pages_asn1.items()
         }
+        tracer.end_span(pages_span.set(vsites=len(pages), bytes=total))
 
         if self._router is None:
             self._router = ReplyRouter(self.sim, self.host)
@@ -140,4 +162,5 @@ class Browser:
             client=client,
             resource_pages=pages,
             applets=applets,
+            trace_id=session_trace,
         )

@@ -11,12 +11,12 @@ tasks."
 from __future__ import annotations
 
 import json
-import typing
 
 from repro.ajo.outcome import AJOOutcome, Outcome, TaskOutcome
 from repro.ajo.serialize import decode_outcome, encode_service
 from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
 from repro.client.browser import UnicoreSession
+from repro.observability import telemetry_for
 from repro.protocol.messages import Request, RequestKind
 from repro.vfs.spaces import Workstation
 
@@ -68,15 +68,35 @@ class JobMonitorController:
 
     def outcome(self, job_id: str):
         """Fetch the full Outcome tree (stdout/stderr included)."""
-        reply = yield from self.session.client.interact(
-            Request(
-                kind=RequestKind.RETRIEVE_OUTCOME,
-                user_dn=self.session.user_dn,
-                payload=job_id.encode(),
+        # Completes the per-job trace: outcome return is the last leg of
+        # client -> gateway -> NJS -> batch -> outcome return.
+        tracer = telemetry_for(self.session.client.sim).tracer
+        trace_id = tracer.trace_id_for_job(job_id) or ""
+        outcome_span = None
+        if trace_id:
+            outcome_span = tracer.start_span(
+                "client.outcome", trace_id, tier="user", job_id=job_id
             )
-        )
+        try:
+            reply = yield from self.session.client.interact(
+                Request(
+                    kind=RequestKind.RETRIEVE_OUTCOME,
+                    user_dn=self.session.user_dn,
+                    payload=job_id.encode(),
+                    trace_id=trace_id,
+                    parent_span_id=outcome_span.span_id if outcome_span else "",
+                )
+            )
+        except BaseException as err:
+            if outcome_span is not None:
+                tracer.end_span(outcome_span, error=err)
+            raise
         if not reply.ok:
+            if outcome_span is not None:
+                tracer.end_span(outcome_span, error=reply.error)
             raise RuntimeError(f"outcome retrieval failed: {reply.error}")
+        if outcome_span is not None:
+            tracer.end_span(outcome_span.set(outcome_bytes=len(reply.payload)))
         return decode_outcome(reply.payload)
 
     # -- control -----------------------------------------------------------------

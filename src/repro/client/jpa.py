@@ -35,6 +35,7 @@ from repro.ajo.tasks import (
 from repro.ajo.validate import validate_ajo
 from repro.ajo.errors import ValidationError
 from repro.client.browser import UnicoreSession
+from repro.observability import telemetry_for
 from repro.resources.check import check_request
 from repro.resources.model import ResourceRequest
 
@@ -282,10 +283,37 @@ class JobPreparationAgent:
             files = ws.stage_for_ajo(needed)
         from repro.protocol.consignment import encode_consignment
 
-        payload = encode_consignment(encode_ajo(builder.ajo), files)
-        reply = yield from self.session.client.consign(
-            payload, user_dn=self.session.user_dn, vsite=builder.ajo.vsite
+        telemetry = telemetry_for(self.session.client.sim)
+        payload = encode_consignment(
+            encode_ajo(builder.ajo), files, metrics=telemetry.metrics
         )
+        # Root of the per-job trace: everything downstream (gateway auth,
+        # NJS incarnation, batch execution) hangs off this span.
+        tracer = telemetry.tracer
+        trace_id = tracer.new_trace("job")
+        submit_span = tracer.start_span(
+            "client.submit",
+            trace_id,
+            tier="user",
+            job=builder.ajo.name,
+            vsite=builder.ajo.vsite,
+            payload_bytes=len(payload),
+        )
+        try:
+            reply = yield from self.session.client.consign(
+                payload,
+                user_dn=self.session.user_dn,
+                vsite=builder.ajo.vsite,
+                trace_id=trace_id,
+                parent_span_id=submit_span.span_id,
+            )
+        except BaseException as err:
+            tracer.end_span(submit_span, error=err)
+            raise
         if not reply.ok:
+            tracer.end_span(submit_span, error=reply.error)
             raise ValidationError(f"consignment rejected: {reply.error}")
-        return json.loads(reply.payload)["job_id"]
+        job_id = json.loads(reply.payload)["job_id"]
+        tracer.end_span(submit_span)
+        tracer.bind_job(job_id, trace_id)
+        return job_id

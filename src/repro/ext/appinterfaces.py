@@ -13,8 +13,7 @@ task, and result exports — the user never sees a batch directive.
 
 from __future__ import annotations
 
-import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ajo.errors import ValidationError
 from repro.client.jpa import JobBuilder, JobPreparationAgent

@@ -18,7 +18,6 @@ never any influence over site scheduling (site autonomy preserved).
 
 from __future__ import annotations
 
-import typing
 from dataclasses import dataclass
 
 from repro.batch.base import BatchState

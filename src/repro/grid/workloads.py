@@ -15,7 +15,6 @@ All randomness flows through an injected ``numpy`` generator.
 
 from __future__ import annotations
 
-import typing
 from dataclasses import dataclass
 
 import numpy as np

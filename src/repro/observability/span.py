@@ -1,0 +1,62 @@
+"""The span: one timed operation inside a trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One named, timed operation attributed to a tier.
+
+    Spans are created and finished through a
+    :class:`~repro.observability.tracer.Tracer` (which owns the clock);
+    the span itself is plain data.  ``parent_id`` links spans into the
+    per-trace tree; a span without a parent is a root.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    #: Which tier did the work: ``user``, ``server``, or ``batch``.
+    tier: str = ""
+    end: float | None = None
+    status: str = "ok"
+    error: str = ""
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while the span is open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the trace export)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tier": self.tier,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }

@@ -14,6 +14,7 @@ import typing
 from repro.net.errors import ConnectionLost
 from repro.net.https import HttpsChannel
 from repro.net.transport import Host
+from repro.observability import telemetry_for
 from repro.protocol.messages import Reply, Request
 from repro.protocol.retry import RetryExhausted, RetryPolicy
 from repro.simkernel import Event, Simulator
@@ -99,10 +100,32 @@ class AsyncProtocolClient:
         Raises :class:`RetryExhausted` when the policy gives up, and
         re-raises server-side errors as-is inside the failed Reply.
         """
+        telemetry = telemetry_for(self.sim)
+        tracer = telemetry.tracer
+        interact_span = None
+        if request.trace_id:
+            interact_span = tracer.start_span(
+                "protocol.interact",
+                request.trace_id,
+                parent=request.parent_span_id or None,
+                tier="user",
+                kind=request.kind,
+                wire_bytes=request.wire_size,
+            )
         last_error: BaseException | None = None
         for attempt in range(1, self.retry.max_attempts + 1):
             reply_ev = self.router.expect(request.request_id)
             self.requests_sent += 1
+            telemetry.metrics.counter("protocol.requests_sent").inc()
+            attempt_span = None
+            if interact_span is not None:
+                attempt_span = tracer.start_span(
+                    "protocol.attempt",
+                    request.trace_id,
+                    parent=interact_span,
+                    tier="user",
+                    attempt=attempt,
+                )
             try:
                 yield self.channel.send(request, request.wire_size)
                 # The reply itself may be lost in transit, so race the
@@ -110,6 +133,9 @@ class AsyncProtocolClient:
                 timer = self.sim.timeout(self.response_timeout_s)
                 fired = yield reply_ev | timer
                 if reply_ev in fired:
+                    if attempt_span is not None:
+                        tracer.end_span(attempt_span)
+                        tracer.end_span(interact_span)
                     return typing.cast(Reply, fired[reply_ev])
                 last_error = ConnectionLost(
                     f"no reply to request {request.request_id} within "
@@ -118,20 +144,35 @@ class AsyncProtocolClient:
             except ConnectionLost as err:
                 # The request was lost on the way out.
                 last_error = err
+            if attempt_span is not None:
+                tracer.end_span(attempt_span, error=last_error)
             # Back off and resend the same idempotent request.
             self.router.forget(request.request_id)
             self.retries += 1
+            telemetry.metrics.counter("protocol.retries").inc()
             if attempt < self.retry.max_attempts:
                 yield self.sim.timeout(self.retry.delay_for(attempt))
         assert last_error is not None
+        if interact_span is not None:
+            tracer.end_span(interact_span, error=last_error)
         raise RetryExhausted(self.retry.max_attempts, last_error)
 
     def consign(
-        self, ajo_bytes: bytes, user_dn: str, vsite: str = ""
+        self,
+        ajo_bytes: bytes,
+        user_dn: str,
+        vsite: str = "",
+        trace_id: str = "",
+        parent_span_id: str = "",
     ) -> typing.Generator[Event, object, Reply]:
         """Consign a job; returns the acknowledgement reply (job id inside)."""
         request = Request(
-            kind="consign_job", user_dn=user_dn, payload=ajo_bytes, vsite=vsite
+            kind="consign_job",
+            user_dn=user_dn,
+            payload=ajo_bytes,
+            vsite=vsite,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
         )
         reply = yield from self.interact(request)
         return reply

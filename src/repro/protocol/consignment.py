@@ -16,8 +16,14 @@ from repro.ajo.errors import SerializationError
 __all__ = ["encode_consignment", "decode_consignment"]
 
 
-def encode_consignment(ajo_bytes: bytes, files: dict[str, bytes] | None = None) -> bytes:
-    """Bundle an encoded AJO with workstation file contents."""
+def encode_consignment(
+    ajo_bytes: bytes, files: dict[str, bytes] | None = None, metrics=None
+) -> bytes:
+    """Bundle an encoded AJO with workstation file contents.
+
+    With a :class:`~repro.observability.MetricsRegistry` as ``metrics``,
+    records the bundled file count and total payload size.
+    """
     envelope = {
         "unicore_consignment": 1,
         "ajo": base64.b64encode(ajo_bytes).decode("ascii"),
@@ -26,7 +32,11 @@ def encode_consignment(ajo_bytes: bytes, files: dict[str, bytes] | None = None) 
             for path, content in sorted((files or {}).items())
         },
     }
-    return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+    payload = json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+    if metrics is not None:
+        metrics.counter("consignment.files").inc(len(files or {}))
+        metrics.counter("consignment.bytes").inc(len(payload))
+    return payload
 
 
 def decode_consignment(data: bytes) -> tuple[bytes, dict[str, bytes]]:

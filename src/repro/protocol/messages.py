@@ -52,6 +52,9 @@ class Request:
     #: Target Vsite for user mapping at the gateway (may be empty).
     vsite: str = ""
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Trace context carried across the tier boundary (empty = untraced).
+    trace_id: str = ""
+    parent_span_id: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in RequestKind.ALL:

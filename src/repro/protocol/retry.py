@@ -38,8 +38,11 @@ class RetryPolicy:
             raise ValueError("backoff factor must be >= 1")
 
     def delay_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt``; rejects non-positive attempts."""
         if attempt < 1:
-            raise ValueError("attempt numbering is 1-based")
+            raise ValueError(
+                f"attempt numbering is 1-based, got {attempt}"
+            )
         return min(
             self.base_delay_s * self.backoff_factor ** (attempt - 1),
             self.max_delay_s,

@@ -16,7 +16,7 @@ the paper) can install a site-specific check hook.
 from __future__ import annotations
 
 import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.security.errors import MappingError
 from repro.security.x509 import Certificate, DistinguishedName

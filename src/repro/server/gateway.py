@@ -32,6 +32,7 @@ from repro.ajo.serialize import decode_ajo, decode_service
 from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
 from repro.net.https import HttpsChannel
 from repro.net.transport import Host, Network
+from repro.observability import telemetry_for
 from repro.protocol.consignment import decode_consignment
 from repro.protocol.messages import Reply, Request, RequestKind
 from repro.security.applet import SignedApplet
@@ -128,6 +129,7 @@ class Gateway:
         if channel is None:
             # No authenticated channel: nothing to reply on; drop.
             self.auth_failures += 1
+            telemetry_for(self.sim).metrics.counter("gateway.auth_failures").inc()
             return
         cached = self._reply_cache.get(request.request_id)
         if cached is not None:
@@ -140,33 +142,56 @@ class Gateway:
         channel.send(reply, reply.wire_size, to_server=False)
 
     def _process(self, channel: HttpsChannel, request: Request):
+        telemetry = telemetry_for(self.sim)
+        tracer = telemetry.tracer
+        telemetry.metrics.counter("gateway.requests").inc()
+        request_span = None
+        auth_span = None
+        if request.trace_id:
+            request_span = tracer.start_span(
+                "gateway.request",
+                request.trace_id,
+                parent=request.parent_span_id or None,
+                tier="server",
+                kind=request.kind,
+            )
+            auth_span = tracer.start_span(
+                "gateway.auth", request.trace_id, parent=request_span,
+                tier="server",
+            )
+
+        def refuse(error: str) -> Reply:
+            self.auth_failures += 1
+            telemetry.metrics.counter("gateway.auth_failures").inc()
+            if auth_span is not None:
+                tracer.end_span(auth_span, error=error)
+                tracer.end_span(request_span, error=error)
+            return Reply(request_id=request.request_id, ok=False, error=error)
+
         # Authentication: the channel's peer certificate is the user's
         # unique UNICORE identification; re-validate and match the claim.
+        auth_started = self.sim.now
         yield self.sim.timeout(self.auth_cpu_s)
         certificate = channel.session.server.peer_certificate
         try:
             self.cert_store.validate(certificate, now=self.sim.now)
         except SecurityError as err:
-            self.auth_failures += 1
-            return Reply(
-                request_id=request.request_id, ok=False,
-                error=f"authentication failed: {err}",
-            )
+            return refuse(f"authentication failed: {err}")
         if str(certificate.subject) != request.user_dn:
-            self.auth_failures += 1
-            return Reply(
-                request_id=request.request_id, ok=False,
-                error=(
-                    f"identity mismatch: request claims {request.user_dn!r} "
-                    f"but the channel authenticated {certificate.subject}"
-                ),
+            return refuse(
+                f"identity mismatch: request claims {request.user_dn!r} "
+                f"but the channel authenticated {certificate.subject}"
             )
         # Certificate-to-uid mapping (the security servlet's job).
         try:
             self.uudb.map_certificate(certificate, vsite=request.vsite)
         except MappingError as err:
-            self.auth_failures += 1
-            return Reply(request_id=request.request_id, ok=False, error=str(err))
+            return refuse(str(err))
+        telemetry.metrics.histogram("gateway.auth_seconds").observe(
+            self.sim.now - auth_started
+        )
+        if auth_span is not None:
+            tracer.end_span(auth_span)
 
         # Firewall hop: gateway -> NJS socket (section 5.2).  The socket
         # is TCP on the site LAN: model it as reliable (a lost frame is
@@ -184,7 +209,7 @@ class Gateway:
                 pass
 
         try:
-            reply = self._dispatch(request)
+            reply = self._dispatch(request, parent_span=request_span)
         except (ConsignError, UnknownUnicoreJobError, SerializationError, ServerError) as err:
             reply = Reply(request_id=request.request_id, ok=False, error=str(err))
 
@@ -197,9 +222,13 @@ class Gateway:
                 )
             except ConnectionLost:
                 pass
+        if request_span is not None:
+            tracer.end_span(
+                request_span, error=None if reply.ok else reply.error
+            )
         return reply
 
-    def _dispatch(self, request: Request) -> Reply:
+    def _dispatch(self, request: Request, parent_span=None) -> Reply:
         if request.kind == RequestKind.CONSIGN_JOB:
             ajo_bytes, files = decode_consignment(request.payload)
             ajo = decode_ajo(ajo_bytes)
@@ -208,7 +237,12 @@ class Gateway:
                     f"AJO names user {ajo.user_dn!r} but the request was "
                     f"authenticated as {request.user_dn!r}"
                 )
-            run = self.njs.consign(ajo, workstation_files=files)
+            run = self.njs.consign(
+                ajo,
+                workstation_files=files,
+                trace_id=request.trace_id,
+                parent_span_id=parent_span.span_id if parent_span else "",
+            )
             return Reply(
                 request_id=request.request_id, ok=True,
                 payload=json.dumps({"job_id": run.job_id}).encode(),

@@ -17,7 +17,6 @@ has in flight.
 
 from __future__ import annotations
 
-import typing
 from dataclasses import dataclass, field
 from itertools import count
 

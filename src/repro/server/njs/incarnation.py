@@ -105,13 +105,16 @@ def incarnate_task(
     extra_outputs: tuple[FileEffect, ...] = (),
     queue: str | None = None,
     origin: str = "unicore",
+    metrics=None,
 ) -> BatchJobSpec:
     """Translate one abstract execute task into a vendor batch job.
 
     ``extra_outputs`` are result files the NJS knows the task must
     produce (from dependency-file annotations and export sources) beyond
     the task's intrinsic products.  With ``queue=None`` the tightest
-    admitting local queue is selected via :func:`select_queue`.
+    admitting local queue is selected via :func:`select_queue`.  With a
+    :class:`~repro.observability.MetricsRegistry` as ``metrics``, the
+    size of every produced script is recorded.
     """
     if not isinstance(task, ExecuteTask):
         raise IncarnationError(
@@ -129,6 +132,8 @@ def incarnate_task(
         resources=task.resources,
         body_lines=env_lines + body,
     )
+    if metrics is not None:
+        metrics.histogram("incarnation.script_bytes").observe(len(script))
 
     # Ground-truth runtime, scaled by the destination architecture.
     baseline = (

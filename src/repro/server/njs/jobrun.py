@@ -53,6 +53,10 @@ class JobRun:
     group_expected: dict[str, tuple[str, ...]] = field(default_factory=dict)
     done_event: Event | None = None
     cancelled: bool = False
+    #: Trace context propagated from the consigning client (may be "").
+    trace_id: str = ""
+    #: The open ``njs.job`` span covering the whole supervised run.
+    job_span: object = None
     #: Held jobs stop *delivering* further parts (running batch jobs are
     #: beyond UNICORE's reach — site autonomy); resume releases them.
     held: bool = False

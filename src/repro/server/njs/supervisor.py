@@ -44,6 +44,7 @@ from repro.ajo.errors import ValidationError
 from repro.batch.base import BatchState, FileEffect
 from repro.batch.errors import BatchError
 from repro.net.transport import Host, Network
+from repro.observability import telemetry_for
 from repro.resources.check import check_request
 from repro.security.errors import MappingError
 from repro.security.ssl import HANDSHAKE_ROUND_TRIPS, SSLSession
@@ -96,6 +97,9 @@ class ForwardGroup:
     staged_files: dict[str, bytes] = field(default_factory=dict)
     #: Files the parent needs back when the group completes.
     return_files: tuple[str, ...] = ()
+    #: Trace context so the peer NJS extends the same per-job trace.
+    trace_id: str = ""
+    parent_span_id: str = ""
 
     @property
     def wire_payload(self) -> int:
@@ -235,28 +239,55 @@ class NetworkJobSupervisor:
         user_dn: str | None = None,
         workstation_files: dict[str, bytes] | None = None,
         parent_job_id: str | None = None,
+        trace_id: str = "",
+        parent_span_id: str = "",
     ) -> JobRun:
         """Accept a job (or a forwarded job group); starts supervision.
 
         Raises :class:`ConsignError` on validation, mapping, or resource
         failures — the gateway reports these to the client synchronously.
         """
-        dn = user_dn or ajo.user_dn
-        if not dn:
-            raise ConsignError("consignment carries no user identity")
+        tracer = telemetry_for(self.sim).tracer
+        consign_span = None
+        if trace_id:
+            consign_span = tracer.start_span(
+                "njs.consign",
+                trace_id,
+                parent=parent_span_id or None,
+                tier="server",
+                usite=self.usite_name,
+                job=ajo.name,
+            )
         try:
-            validate_ajo(ajo, require_user=user_dn is None)
-        except ValidationError as err:
-            raise ConsignError(f"invalid AJO: {err}") from err
-        self._check_destinations(ajo, dn)
+            dn = user_dn or ajo.user_dn
+            if not dn:
+                raise ConsignError("consignment carries no user identity")
+            try:
+                validate_ajo(ajo, require_user=user_dn is None)
+            except ValidationError as err:
+                raise ConsignError(f"invalid AJO: {err}") from err
+            self._check_destinations(ajo, dn)
+        except ConsignError as err:
+            if consign_span is not None:
+                tracer.end_span(consign_span, error=err)
+            raise
 
         job_id = f"U{next(self._job_seq):05d}@{self.usite_name}"
         run = JobRun.create(
             self.sim, job_id, ajo, dn, workstation_files=workstation_files
         )
+        run.trace_id = trace_id
         self._runs[job_id] = run
         if parent_job_id is not None:
             self._foreign_runs[parent_job_id] = run
+        if consign_span is not None:
+            # The job span outlives the consign acknowledgement: it closes
+            # in _run_job once supervision finishes.
+            run.job_span = tracer.start_span(
+                "njs.job", trace_id, parent=consign_span, tier="server",
+                job_id=job_id,
+            )
+            tracer.end_span(consign_span.set(job_id=job_id))
         self.sim.process(self._run_job(run), name=f"job:{job_id}")
         return run
 
@@ -295,6 +326,12 @@ class NetworkJobSupervisor:
     # ------------------------------------------------------- job processes
     def _run_job(self, run: JobRun):
         yield from self._run_group(run, run.root)
+        if run.job_span is not None:
+            status = run.status()
+            telemetry_for(self.sim).tracer.end_span(
+                run.job_span.set(status=status.value),
+                error=None if status is ActionStatus.SUCCESSFUL else status.value,
+            )
         assert run.done_event is not None
         if not run.done_event.triggered:
             run.done_event.succeed(run.status())
@@ -383,7 +420,15 @@ class NetworkJobSupervisor:
         if staged:
             # Local staging copy at disk bandwidth.
             total = sum(len(v) for v in staged.values())
+            stage_span = None
+            if run.trace_id:
+                stage_span = telemetry_for(self.sim).tracer.start_span(
+                    "njs.stage", run.trace_id, parent=run.job_span,
+                    tier="server", files=len(staged), bytes=total,
+                )
             yield self.sim.timeout(total / self.local_disk_bandwidth_Bps)
+            if stage_span is not None:
+                telemetry_for(self.sim).tracer.end_span(stage_span)
 
         # 3. Dispatch by action type.
         if isinstance(child, AbstractJobObject):
@@ -455,8 +500,16 @@ class NetworkJobSupervisor:
             return
 
         # Incarnation (the JTS role).
+        telemetry = telemetry_for(self.sim)
+        incarnate_span = None
+        if run.trace_id:
+            incarnate_span = telemetry.tracer.start_span(
+                "njs.incarnate", run.trace_id, parent=run.job_span,
+                tier="server", task=task.name,
+            )
         yield self.sim.timeout(self.incarnation_cpu_s)
         self.incarnations += 1
+        telemetry.metrics.counter("njs.incarnations").inc()
         out_files = tuple(
             FileEffect(path=f, size_bytes=RESULT_FILE_BYTES)
             for dep in group.dependencies
@@ -488,7 +541,14 @@ class NetworkJobSupervisor:
         spec = incarnate_task(
             task, vsite, mapping, uspace,
             extra_outputs=out_files + export_sources + group_owes,
+            metrics=telemetry.metrics,
         )
+        spec.trace_id = run.trace_id
+        spec.parent_span_id = run.job_span.span_id if run.job_span else ""
+        if incarnate_span is not None:
+            telemetry.tracer.end_span(
+                incarnate_span.set(queue=spec.queue, script_bytes=len(spec.script))
+            )
         # "Transform the abstract job into a Codine internal format"
         # (section 5.5) before delivery to the destination system.
         self.codine.register(run.job_id, task.id, vsite.name, spec, self.sim.now)
@@ -539,12 +599,23 @@ class NetworkJobSupervisor:
             except VFSError as err:
                 run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
                 return
+        telemetry = telemetry_for(self.sim)
+        import_span = None
+        if run.trace_id:
+            import_span = telemetry.tracer.start_span(
+                "njs.import", run.trace_id, parent=run.job_span,
+                tier="server", path=task.destination_path, bytes=len(content),
+            )
         yield self.sim.timeout(len(content) / self.local_disk_bandwidth_Bps)
         try:
             uspace.write(task.destination_path, content)
         except VFSError as err:
+            if import_span is not None:
+                telemetry.tracer.end_span(import_span, error=err)
             run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
             return
+        if import_span is not None:
+            telemetry.tracer.end_span(import_span)
         outcome.bytes_moved = len(content)
         outcome.completed_at = self.sim.now
         run.finish_action(task.id, ActionStatus.SUCCESSFUL)
@@ -560,12 +631,23 @@ class NetworkJobSupervisor:
             )
             return
         content = uspace.read(task.source_path)
+        telemetry = telemetry_for(self.sim)
+        export_span = None
+        if run.trace_id:
+            export_span = telemetry.tracer.start_span(
+                "njs.export", run.trace_id, parent=run.job_span,
+                tier="server", path=task.destination_path, bytes=len(content),
+            )
         yield self.sim.timeout(len(content) / self.local_disk_bandwidth_Bps)
         try:
             self.xspace.fs.write(task.destination_path, content)
         except VFSError as err:
+            if export_span is not None:
+                telemetry.tracer.end_span(export_span, error=err)
             run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
             return
+        if export_span is not None:
+            telemetry.tracer.end_span(export_span)
         outcome.bytes_moved = len(content)
         outcome.completed_at = self.sim.now
         run.finish_action(task.id, ActionStatus.SUCCESSFUL)
@@ -598,6 +680,14 @@ class NetworkJobSupervisor:
         started = self.sim.now
         reply_ev = self.sim.event(name=f"transfer-ack:{corr_id}")
         self._pending[corr_id] = reply_ev
+        telemetry = telemetry_for(self.sim)
+        transfer_span = None
+        if run.trace_id:
+            transfer_span = telemetry.tracer.start_span(
+                "njs.transfer", run.trace_id, parent=run.job_span,
+                tier="server", usite=task.destination_usite,
+                bytes=len(content),
+            )
         from repro.net.errors import ConnectionLost
 
         try:
@@ -606,6 +696,8 @@ class NetworkJobSupervisor:
             )
         except ConnectionLost as err:
             self._pending.pop(corr_id, None)
+            if transfer_span is not None:
+                telemetry.tracer.end_span(transfer_span, error=err)
             run.finish_action(
                 task.id, ActionStatus.FAILED,
                 reason=f"transfer lost after retries: {err}",
@@ -613,6 +705,10 @@ class NetworkJobSupervisor:
             return
         ack = yield reply_ev
         elapsed = self.sim.now - started
+        if transfer_span is not None:
+            telemetry.tracer.end_span(
+                transfer_span, error=None if ack.ok else ack.error
+            )
         if ack.ok:
             outcome.bytes_moved = len(content)
             outcome.effective_bandwidth = (
@@ -620,6 +716,7 @@ class NetworkJobSupervisor:
             )
             outcome.completed_at = self.sim.now
             self.transfers_bytes += len(content)
+            telemetry.metrics.counter("njs.transfer_bytes").inc(len(content))
             run.finish_action(task.id, ActionStatus.SUCCESSFUL)
         else:
             run.finish_action(task.id, ActionStatus.FAILED, reason=ack.error)
@@ -627,6 +724,14 @@ class NetworkJobSupervisor:
     # --------------------------------------------------------- peer traffic
     def _forward_group(self, run, group, sub: AbstractJobObject, staged):
         self.forwarded_groups += 1
+        telemetry = telemetry_for(self.sim)
+        telemetry.metrics.counter("njs.forwarded_groups").inc()
+        forward_span = None
+        if run.trace_id:
+            forward_span = telemetry.tracer.start_span(
+                "njs.forward", run.trace_id, parent=run.job_span,
+                tier="server", usite=sub.usite, group=sub.name,
+            )
         return_files = tuple(
             f
             for dep in group.dependencies
@@ -654,6 +759,8 @@ class NetworkJobSupervisor:
             ajo_bytes=encode_ajo(sub),
             staged_files=ws_files,
             return_files=return_files,
+            trace_id=run.trace_id,
+            parent_span_id=forward_span.span_id if forward_span else "",
         )
         reply_ev = self.sim.event(name=f"group-result:{corr_id}")
         self._pending[corr_id] = reply_ev
@@ -665,12 +772,18 @@ class NetworkJobSupervisor:
             )
         except ConnectionLost as err:
             self._pending.pop(corr_id, None)
+            if forward_span is not None:
+                telemetry.tracer.end_span(forward_span, error=err)
             run.finish_action(
                 sub.id, ActionStatus.FAILED,
                 reason=f"job group lost in transit after retries: {err}",
             )
             return
         result = yield reply_ev
+        if forward_span is not None:
+            telemetry.tracer.end_span(
+                forward_span, error=None if result.ok else result.error
+            )
         if not result.ok:
             # The whole group was rejected remotely: none of its children
             # were attempted.
@@ -802,6 +915,8 @@ class NetworkJobSupervisor:
                 user_dn=message.user_dn,
                 workstation_files=message.staged_files,
                 parent_job_id=message.parent_job_id,
+                trace_id=message.trace_id,
+                parent_span_id=message.parent_span_id,
             )
         except Exception as err:  # noqa: BLE001 - reported back to the peer
             from repro.net.errors import ConnectionLost

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.simkernel.events import Event, EventAborted, Interrupt, PENDING
+from repro.simkernel.events import Event, Interrupt, PENDING
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.engine import Simulator

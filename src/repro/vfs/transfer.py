@@ -23,11 +23,22 @@ class _Writable(typing.Protocol):  # pragma: no cover
 
 
 def copy_file(
-    source: _Readable, source_path: str, destination: _Writable, destination_path: str
+    source: _Readable,
+    source_path: str,
+    destination: _Writable,
+    destination_path: str,
+    metrics=None,
 ) -> int:
-    """Copy one file; returns the number of bytes moved."""
+    """Copy one file; returns the number of bytes moved.
+
+    With a :class:`~repro.observability.MetricsRegistry` as ``metrics``,
+    counts the copy under ``vfs.files_copied`` / ``vfs.bytes_copied``.
+    """
     content = source.read(source_path)
     destination.write(destination_path, content)
+    if metrics is not None:
+        metrics.counter("vfs.files_copied").inc()
+        metrics.counter("vfs.bytes_copied").inc(len(content))
     return len(content)
 
 
@@ -36,6 +47,7 @@ def copy_tree(
     source_root: str,
     destination: _Writable,
     destination_root: str,
+    metrics=None,
 ) -> int:
     """Copy every file under ``source_root``; returns total bytes moved.
 
@@ -47,7 +59,5 @@ def copy_tree(
     for path in source.walk_files(source_root):
         rel = path[len(prefix):] if path.startswith(prefix) else path.lstrip("/")
         dest = destination_root.rstrip("/") + "/" + rel
-        content = source.read(path)
-        destination.write(dest, content)
-        total += len(content)
+        total += copy_file(source, path, destination, dest, metrics=metrics)
     return total

@@ -6,7 +6,6 @@ import pytest
 from repro.ajo import ActionStatus
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import build_german_grid, build_grid
-from repro.resources import ResourceRequest
 
 
 @pytest.fixture()
@@ -76,7 +75,7 @@ def test_transfer_task_moves_uspace_data_between_sites(two_sites):
         "produce", script="#!/bin/sh\nmake data\n", simulated_runtime_s=60.0
     )
     remote = root.sub_job("consume@ZIB", vsite="ZIB-SP2", usite="ZIB")
-    consume = remote.script_task(
+    remote.script_task(
         "consume", script="#!/bin/sh\nread big.dat\n", simulated_runtime_s=60.0
     )
     xfer = root.transfer_to_usite("big.dat", "ZIB")

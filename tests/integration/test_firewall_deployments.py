@@ -1,8 +1,5 @@
 """Both section-5.2 deployment options: firewall-split and co-located."""
 
-import pytest
-
-from repro.batch.machines import machine
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid.build import Grid, _build_applets
 from repro.net.transport import Network

@@ -75,7 +75,6 @@ def test_transfer_to_unknown_usite_fails_task_only(duo):
 def test_missing_workstation_file_fails_import(duo):
     grid, user, session = duo
     jpa = JobPreparationAgent(session)
-    jmc = JobMonitorController(session)
     user.workstation.fs.write("/home/edge/real.dat", b"data")
     job = jpa.new_job("wsimport", vsite="FZJ-T3E")
     job.import_from_workstation("/home/edge/real.dat", "a.dat")
@@ -156,7 +155,7 @@ def test_batch_queue_rejection_reported_in_outcome(duo):
     # 512*128MB = 65536MB machine memory; page allows memory up to total,
     # so ask within page but with cpus*... actually ask exactly at the
     # machine's total memory with 1 cpu: page ok, batch rejects.
-    t = job.script_task(
+    job.script_task(
         "hog", script="#!/bin/sh\nx\n",
         resources=ResourceRequest(cpus=1, time_s=600,
                                   memory_mb=65536.0),

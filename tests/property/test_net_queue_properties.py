@@ -48,7 +48,8 @@ def test_link_busy_time_conserved(sizes):
     net.add_host("b")
     bw = 5_000.0
     net.link("a", "b", latency_s=0.0, bandwidth_Bps=bw)
-    events = [net.send("a", "b", i, s) for i, s in enumerate(sizes)]
+    for i, s in enumerate(sizes):
+        net.send("a", "b", i, s)
     sim.run()
     assert sim.now >= sum(sizes) / bw - 1e-9
 

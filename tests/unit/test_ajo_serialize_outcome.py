@@ -14,7 +14,6 @@ from repro.ajo import (
     ImportTask,
     LinkTask,
     ListService,
-    Outcome,
     QueryService,
     SerializationError,
     ServiceOutcome,

@@ -281,7 +281,7 @@ def test_utilization_accounting():
 def test_backfill_lets_small_job_jump_without_delaying_head():
     sim, system = make_system("DWD-SX4", scheduler=BackfillScheduler())  # 32 cpus
     # 24 cpus busy until t=100.
-    a = system.submit(spec_for(system, "a", cpus=24, time_s=100))
+    system.submit(spec_for(system, "a", cpus=24, time_s=100))
     # Head needs 32: must wait until t=100.
     b = system.submit(spec_for(system, "b", cpus=32, time_s=50))
     # Small short job fits in the 8 free cpus and ends before t=100.
@@ -294,7 +294,7 @@ def test_backfill_lets_small_job_jump_without_delaying_head():
 
 def test_backfill_refuses_job_that_would_delay_head():
     sim, system = make_system("DWD-SX4", scheduler=BackfillScheduler())
-    a = system.submit(spec_for(system, "a", cpus=24, time_s=100))
+    system.submit(spec_for(system, "a", cpus=24, time_s=100))
     b = system.submit(spec_for(system, "b", cpus=32, time_s=50))
     # Fits the free 8 cpus but (requested) runs past t=100 and would
     # steal cpus the head needs.

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.batch import BatchState, BatchSystem, machine
+from repro.batch import BatchSystem, machine
 from repro.grid import (
     LocalLoadGenerator,
     WorkloadProfile,
@@ -86,7 +86,7 @@ def test_local_load_generator_submits_poisson_stream():
 def test_local_load_generator_stops_at_horizon():
     sim = Simulator()
     batch = BatchSystem(sim, machine("RUKA-SP2"))
-    gen = LocalLoadGenerator(
+    LocalLoadGenerator(
         sim, batch, derive_rng(3, "load2"),
         arrival_rate_per_s=1 / 10.0, horizon_s=1000.0,
     )

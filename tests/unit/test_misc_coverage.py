@@ -90,7 +90,7 @@ def test_process_failure_via_run_until_raises():
 
 # ------------------------------------------------------------- JMC helpers
 def test_jmc_output_helpers():
-    from repro.ajo import ActionStatus, AJOOutcome, FileOutcome, TaskOutcome
+    from repro.ajo import AJOOutcome, FileOutcome, TaskOutcome
     from repro.client import JobMonitorController
     from repro.vfs import Workstation
 

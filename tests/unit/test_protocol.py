@@ -114,6 +114,15 @@ def test_retry_policy_validation():
         RetryPolicy().delay_for(0)
 
 
+def test_retry_policy_rejects_non_positive_attempts():
+    """Attempt numbering is 1-based; zero and negatives are caller bugs."""
+    policy = RetryPolicy()
+    for attempt in (0, -1, -3):
+        with pytest.raises(ValueError, match="1-based"):
+            policy.delay_for(attempt)
+    assert policy.delay_for(1) == policy.base_delay_s
+
+
 # ----------------------------------------------------------------- async
 def test_async_interaction_lossless(pki):
     sim, net, client = build(pki)

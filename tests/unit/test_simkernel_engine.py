@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.simkernel import (
-    Event,
-    EventAborted,
-    Interrupt,
-    ProcessDied,
-    Simulator,
-    Timeout,
-)
+from repro.simkernel import Interrupt, ProcessDied, Simulator
 
 
 def test_clock_starts_at_zero():

@@ -57,7 +57,6 @@ def test_timeline_ordering_respects_dependencies(finished_pipeline):
     grid, job_id = finished_pipeline
     njs = grid.usites["FZJ"].njs
     entries = job_timeline(njs, job_id)
-    by_label = {e.label: e for e in entries}
     imp = next(e for e in entries if "import" in e.label)
     run = next(e for e in entries if "[run@" in e.label)
     exp = next(e for e in entries if "export" in e.label)
