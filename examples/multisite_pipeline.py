@@ -10,12 +10,13 @@ runs exactly that, across three German centers:
     post-process on the ZIB IBM SP-2          (rendering)
 
 with the dependency-file mechanism handing the field data from stage to
-stage, NJS-to-NJS over https — the user writes none of that plumbing.
+stage, NJS-to-NJS over https — the user writes none of that plumbing,
+and drives everything through one :class:`repro.api.GridSession`.
 
 Run:  python examples/multisite_pipeline.py
 """
 
-from repro.client import JobMonitorController, JobPreparationAgent
+from repro import GridSession
 from repro.grid import build_grid
 from repro.resources import ResourceRequest
 
@@ -30,11 +31,11 @@ def main() -> None:
         logins={"FZJ": "clara", "LRZ": "schmidtc", "ZIB": "cschmidt"},
     )
     # She contacts her home site; the rest happens server-to-server.
-    session = grid.connect_user(user, "FZJ")
-    jpa = JobPreparationAgent(session)
-    jmc = JobMonitorController(session)
+    session = GridSession(grid, user, "FZJ")
 
-    root = jpa.new_job("climate-study", vsite="FZJ-T3E", account_group="climate")
+    root = session.new_job(
+        "climate-study", vsite="FZJ-T3E", account_group="climate"
+    )
 
     # Stage 1: pre-processing at LRZ (job group destined for another Usite).
     pre = root.sub_job("preprocess@LRZ", vsite="LRZ-VPP", usite="LRZ")
@@ -66,20 +67,14 @@ def main() -> None:
     root.depends(pre, main_run, files=["grid.bin"])
     root.depends(main_run, post, files=["field.dat"])
 
-    def scenario(sim):
-        job_id = yield from jpa.submit(root)
-        print(f"consigned {job_id}; sub-groups forwarded NJS-to-NJS")
-        final = yield from jmc.wait_for_completion(job_id)
-        tree = yield from jmc.status(job_id)
-        return final, tree
+    handle = session.submit(root)
+    print(f"consigned {handle}; sub-groups forwarded NJS-to-NJS")
+    final = session.wait(handle)
 
-    process = grid.sim.process(scenario(grid.sim))
-    final, tree = grid.sim.run(until=process)
-
-    print(f"\nfinal status: {final['status']}  "
+    print(f"\nfinal status: {final.status}  "
           f"(t={grid.sim.now/3600:.2f} simulated hours)")
     print("\nJMC job tree:")
-    print(JobMonitorController.render_tree(tree))
+    print(session.render(final))
 
     print("\nwho actually ran what, under which local identity and dialect:")
     for site, vsite in (("LRZ", "LRZ-VPP"), ("FZJ", "FZJ-T3E"), ("ZIB", "ZIB-SP2")):

@@ -1,21 +1,24 @@
 #!/usr/bin/env python
 """Quickstart: one compile-link-execute F90 job at FZ Jülich.
 
-This walks the paper's primary scenario end to end:
+This walks the paper's primary scenario end to end, through the public
+:class:`repro.api.GridSession` facade:
 
 1. build a one-site grid (FZ Jülich's Cray T3E);
-2. a user with a certificate and a UUDB mapping connects: mutual https
-   authentication, signed JPA/JMC applets verified, resource page loaded;
-3. the JPA builds a compile-link-execute job (the prototype's F90 path)
-   with an import from the workstation and an export of the result;
-4. the job is consigned; the NJS incarnates each task into NQS scripts,
-   sequences them, and collects output;
-5. the JMC polls asynchronously until completion and fetches the outcome.
+2. a user with a certificate and a UUDB mapping opens a session: mutual
+   https authentication, signed JPA/JMC applets verified, resource page
+   loaded — all inside the ``GridSession`` constructor;
+3. the builder assembles a compile-link-execute job (the prototype's F90
+   path) with an import from the workstation and an export of the result;
+4. ``submit`` consigns it; the NJS incarnates each task into NQS
+   scripts, sequences them, and collects output;
+5. ``wait`` polls asynchronously until completion; ``outcome`` fetches
+   the result tree.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.client import JobMonitorController, JobPreparationAgent
+from repro import GridSession
 from repro.grid import build_grid
 from repro.resources import ResourceRequest
 
@@ -31,17 +34,15 @@ def main() -> None:
     alice.workstation.fs.write(
         "/home/alice/solver.f90", b"program solver\n  print *, 'hi'\nend\n"
     )
-    session = grid.connect_user(alice, "FZJ")
-    print(f"connected to {session.usite} as {session.user_dn}")
-    print(f"applets verified: {sorted(session.applets)}")
-    page = session.resource_pages["FZJ-T3E"]
+    session = GridSession(grid, alice, "FZJ")
+    print(f"connected to {session.session.usite} as {session.session.user_dn}")
+    print(f"applets verified: {sorted(session.session.applets)}")
+    page = session.session.resource_pages["FZJ-T3E"]
     print(f"destination: {page.architecture} / {page.operating_system}, "
           f"cpus {page.ranges['cpus'].minimum:.0f}..{page.ranges['cpus'].maximum:.0f}")
 
-    # 3. Build the job in the JPA.
-    jpa = JobPreparationAgent(session)
-    jmc = JobMonitorController(session)
-    job = jpa.new_job("quickstart", vsite="FZJ-T3E", account_group="zam")
+    # 3. Build the job.
+    job = session.new_job("quickstart", vsite="FZJ-T3E", account_group="zam")
     src = job.import_from_workstation("/home/alice/solver.f90", "solver.f90")
     compile_t, link_t, run_t = job.compile_link_execute(
         "solver",
@@ -54,28 +55,21 @@ def main() -> None:
     exp = job.export_to_xspace("result.dat", "/archive/quickstart/result.dat")
     job.depends(run_t, exp, files=["result.dat"])
 
-    # 4+5. Consign, poll, harvest — all inside the simulation.
-    def scenario(sim):
-        job_id = yield from jpa.submit(job, workstation=alice.workstation)
-        print(f"consigned: {job_id}")
-        final = yield from jmc.wait_for_completion(job_id)
-        tree = yield from jmc.status(job_id)
-        outcome = yield from jmc.outcome(job_id)
-        return final, tree, outcome
+    # 4+5. Consign, poll, harvest — each verb drives the simulation.
+    handle = session.submit(job)
+    print(f"consigned: {handle}")
+    final = session.wait(handle)
+    outcome = session.outcome(handle)
 
-    process = grid.sim.process(scenario(grid.sim))
-    final, tree, outcome = grid.sim.run(until=process)
-
-    print(f"\nfinal status: {final['status']}  (t={grid.sim.now:.1f}s simulated)")
+    print(f"\nfinal status: {final.status}  (t={grid.sim.now:.1f}s simulated)")
     print("\nJMC job tree:")
-    print(JobMonitorController.render_tree(tree))
+    print(session.render(final))
 
     from repro.grid import job_timeline, render_gantt
 
     print("\njob timeline (where the time went):")
     njs = grid.usites["FZJ"].njs
-    run_list = njs.list_jobs(session.user_dn)
-    print(render_gantt(job_timeline(njs, run_list[0]["job_id"])))
+    print(render_gantt(job_timeline(njs, handle.job_id)))
     print("\nrun task stdout:", outcome.child(run_t.id).stdout.strip())
     xfs = grid.usites["FZJ"].xspace.fs
     print(f"exported result: {xfs.size('/archive/quickstart/result.dat')} bytes "

@@ -8,12 +8,14 @@ constraints."
 
 This example loads the FZJ T3E with site-local jobs, then lets the broker
 place ten UNICORE jobs across the German grid by estimated turnaround.
-It prints where each job went and the accounting totals afterwards.
+One :class:`repro.api.GridSession` submits everywhere: the facade opens
+sessions to the other gateways on demand.  It prints where each job went
+and the accounting totals afterwards.
 
 Run:  python examples/resource_broker.py
 """
 
-from repro.client import JobMonitorController, JobPreparationAgent
+from repro import GridSession
 from repro.ext import AccountingLog, ResourceBroker
 from repro.grid import LocalLoadGenerator, WorkloadProfile, build_german_grid
 from repro.resources import ResourceRequest
@@ -42,36 +44,26 @@ def main() -> None:
             "ZIB-SP2": 0.6, "LRZ-VPP": 3.0, "DWD-SX4": 4.0,
         },
     )
+    session = GridSession(grid, user, "FZJ")
 
-    sessions = {}
+    # Submit all ten back to back: each placement sees the backlog the
+    # previous ones created (that's the "load information").
     placements = []
-
-    def run_brokered(sim):
-        # Submit all ten back to back: each placement sees the backlog
-        # the previous ones created (that's the "load information").
-        job_ids = []
-        for i in range(10):
-            request = ResourceRequest(cpus=16, time_s=7200, memory_mb=2048)
-            decision = broker.choose(request, baseline_runtime_s=1800.0)
-            placements.append(decision)
-            if decision.usite not in sessions:
-                sessions[decision.usite] = yield from user.browser.connect(
-                    grid.usites[decision.usite]
-                )
-            session = sessions[decision.usite]
-            jpa = JobPreparationAgent(session)
-            job = jpa.new_job(f"brokered-{i}", vsite=decision.vsite)
-            job.script_task(
-                "work", script="#!/bin/sh\n./app\n",
-                resources=request, simulated_runtime_s=1800.0,
-            )
-            job_id = yield from jpa.submit(job)
-            job_ids.append((session, job_id))
-        for session, job_id in job_ids:
-            jmc = JobMonitorController(session)
-            yield from jmc.wait_for_completion(job_id)
-
-    grid.sim.run(until=grid.sim.process(run_brokered(grid.sim)))
+    handles = []
+    for i in range(10):
+        request = ResourceRequest(cpus=16, time_s=7200, memory_mb=2048)
+        decision = broker.choose(request, baseline_runtime_s=1800.0)
+        placements.append(decision)
+        job = session.new_job(
+            f"brokered-{i}", vsite=decision.vsite, usite=decision.usite
+        )
+        job.script_task(
+            "work", script="#!/bin/sh\n./app\n",
+            resources=request, simulated_runtime_s=1800.0,
+        )
+        handles.append(session.submit(job))
+    for handle in handles:
+        session.wait(handle)
 
     print("broker placements (with the T3E under heavy local load):")
     for i, d in enumerate(placements):

@@ -16,13 +16,13 @@ reported NOT_ATTEMPTED (grey icons) rather than running on stale data.
 Run:  python examples/weather_forecast.py
 """
 
-from repro.client import JobMonitorController, JobPreparationAgent
+from repro import GridSession
 from repro.grid import build_grid
 from repro.resources import ResourceRequest
 
 
-def build_cycle(jpa, name: str, obs_path: str):
-    job = jpa.new_job(name, vsite="DWD-SX4", account_group="ops")
+def build_cycle(session: GridSession, name: str, obs_path: str):
+    job = session.new_job(name, vsite="DWD-SX4", account_group="ops")
     obs = job.import_from_xspace(obs_path, "obs.bufr")
     assim = job.script_task(
         "assimilation",
@@ -57,37 +57,28 @@ def main() -> None:
     forecaster = grid.add_user(
         "Op Forecaster", organization="DWD", logins={"DWD": "opfc"}
     )
-    session = grid.connect_user(forecaster, "DWD")
-    jpa = JobPreparationAgent(session)
-    jmc = JobMonitorController(session)
+    session = GridSession(grid, forecaster, "DWD")
 
     # This morning's observations are on the DWD Xspace; tomorrow's are not.
     grid.usites["DWD"].xspace.fs.write("/obs/00z.bufr", b"BUFR" * 50_000)
 
-    good = build_cycle(jpa, "fc-00z", "/obs/00z.bufr")
-    bad = build_cycle(jpa, "fc-12z", "/obs/12z.bufr")  # missing!
+    good = build_cycle(session, "fc-00z", "/obs/00z.bufr")
+    bad = build_cycle(session, "fc-12z", "/obs/12z.bufr")  # missing!
 
-    def scenario(sim):
-        good_id = yield from jpa.submit(good)
-        bad_id = yield from jpa.submit(bad)
-        good_final = yield from jmc.wait_for_completion(good_id)
-        bad_final = yield from jmc.wait_for_completion(bad_id)
-        good_tree = yield from jmc.status(good_id)
-        bad_tree = yield from jmc.status(bad_id)
-        return good_final, bad_final, good_tree, bad_tree
+    good_handle = session.submit(good)
+    bad_handle = session.submit(bad)
+    good_final = session.wait(good_handle)
+    bad_final = session.wait(bad_handle)
 
-    process = grid.sim.process(scenario(grid.sim))
-    good_final, bad_final, good_tree, bad_tree = grid.sim.run(until=process)
-
-    print(f"00z cycle: {good_final['status']}")
-    print(JobMonitorController.render_tree(good_tree))
+    print(f"00z cycle: {good_final.status}")
+    print(session.render(good_final))
     xfs = grid.usites["DWD"].xspace.fs
     print("\nproducts on the DWD Xspace:")
     for path in xfs.walk_files("/products"):
         print(f"  {path}  ({xfs.size(path)} bytes)")
 
-    print(f"\n12z cycle: {bad_final['status']}  (observations were missing)")
-    print(JobMonitorController.render_tree(bad_tree))
+    print(f"\n12z cycle: {bad_final.status}  (observations were missing)")
+    print(session.render(bad_final))
 
     batch = grid.usites["DWD"].vsites["DWD-SX4"].batch
     print(f"\nSX-4 utilization over the window: {batch.utilization():.1%}")

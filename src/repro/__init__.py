@@ -8,8 +8,10 @@ production sites.
 
 Typical entry points:
 
->>> from repro.grid import build_grid
->>> from repro.client import JobPreparationAgent, JobMonitorController
+>>> from repro.grid import build_german_grid
+>>> from repro import GridSession          # the public facade
+>>> grid = build_german_grid()
+>>> session = GridSession(grid, grid.add_user("A", logins={"FZJ": "a"}), "FZJ")
 
 Subpackages (bottom-up):
 
@@ -24,13 +26,18 @@ Subpackages (bottom-up):
 - :mod:`repro.server` — gateway, Vsites, translation tables, the NJS;
 - :mod:`repro.client` — browser, JPA, JMC;
 - :mod:`repro.grid` — multi-site assembly and workloads;
+- :mod:`repro.faults` — deterministic fault injection and resilience;
 - :mod:`repro.ext` — the section-6 outlook: broker, accounting,
-  application interfaces, co-allocation.
+  application interfaces, co-allocation;
+- :mod:`repro.api` — the :class:`~repro.api.GridSession` facade over
+  the whole user tier (submit / status / outcome / cancel).
 """
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "GridSession",
+    "JobHandle",
     "ajo",
     "batch",
     "client",
@@ -44,3 +51,13 @@ __all__ = [
     "simkernel",
     "vfs",
 ]
+
+
+def __getattr__(name: str):
+    # The facade is exported lazily: repro.api imports half the stack,
+    # which ``import repro`` alone should not pay for.
+    if name in ("GridSession", "JobHandle"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,7 @@ import argparse
 import json
 import sys
 
+from repro.api import GridSession
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import build_german_grid, figure1, figure2
 from repro.grid.metrics import TierTimes
@@ -35,11 +36,9 @@ def demo() -> None:
     print(figure1(grid.usites["FZJ"]))
 
     print("\nConnecting (mutual https authentication + applet verification)...")
-    session = grid.connect_user(user, "FZJ")
-    jpa = JobPreparationAgent(session)
-    jmc = JobMonitorController(session)
+    session = GridSession(grid, user, "FZJ")
 
-    root = jpa.new_job("demo", vsite="FZJ-T3E")
+    root = session.new_job("demo", vsite="FZJ-T3E")
     pre = root.script_task(
         "preprocess", script="#!/bin/sh\nprep\n",
         resources=ResourceRequest(cpus=8, time_s=3600),
@@ -53,17 +52,12 @@ def demo() -> None:
     )
     root.depends(pre, remote.ajo, files=["field.dat"])
 
-    def scenario(sim):
-        job_id = yield from jpa.submit(root)
-        print(f"consigned {job_id}")
-        final = yield from jmc.wait_for_completion(job_id)
-        tree = yield from jmc.status(job_id)
-        return final, tree
-
-    final, tree = grid.sim.run(until=grid.sim.process(scenario(grid.sim)))
-    print(f"\nfinal status: {final['status']} "
+    handle = session.submit(root)
+    print(f"consigned {handle}")
+    final = session.wait(handle)
+    print(f"\nfinal status: {final.status} "
           f"(t = {grid.sim.now:.0f} simulated seconds)\n")
-    print(JobMonitorController.render_tree(tree))
+    print(session.render(final))
     print("\nRun `pytest benchmarks/ --benchmark-only -s` for the full "
           "experiment suite (see EXPERIMENTS.md).")
 

@@ -46,7 +46,16 @@ def topological_order(job: AbstractJobObject) -> list[str]:
     preds = predecessors_map(job)
     indegree = {cid: len(p) for cid, p in preds.items()}
     successors: dict[str, list[str]] = {cid: [] for cid in indegree}
+    seen: set[tuple[str, str]] = set()
     for pred, succ in _edges(job):
+        # A user may declare the same edge twice (e.g. once per transferred
+        # file set).  Indegrees come from the deduplicated predecessor sets,
+        # so the successor lists must be deduplicated to match — otherwise a
+        # repeated edge decrements its successor more than once and releases
+        # it before its *other* predecessors have run.
+        if (pred, succ) in seen:
+            continue
+        seen.add((pred, succ))
         successors[pred].append(succ)
 
     order: list[str] = []

@@ -1,5 +1,7 @@
 """Exceptions for the AJO layer."""
 
+from repro.errors import ReproError
+
 __all__ = [
     "AJOError",
     "ValidationError",
@@ -8,17 +10,25 @@ __all__ = [
 ]
 
 
-class AJOError(Exception):
+class AJOError(ReproError):
     """Base class for AJO-layer errors."""
+
+    code = "ajo.error"
 
 
 class ValidationError(AJOError):
     """The AJO is structurally invalid (ids, destinations, references)."""
 
+    code = "ajo.validation"
+
 
 class DependencyCycleError(ValidationError):
     """The job graph is not acyclic."""
 
+    code = "ajo.dependency_cycle"
+
 
 class SerializationError(AJOError):
     """The AJO/Outcome wire encoding is malformed or unsupported."""
+
+    code = "ajo.serialization"

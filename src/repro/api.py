@@ -1,0 +1,371 @@
+"""The public facade: one session object for the whole user tier.
+
+The paper's client tier is three applets (browser, JPA, JMC) that each
+expose generator methods to be driven inside a simulator process.  That
+is faithful to section 4.1 but awkward as a *library* surface: every
+caller had to spell the connect handshake, hold three objects, and wrap
+each call in ``sim.process``/``sim.run``.  :class:`GridSession` folds
+the tier into four verbs —
+
+    >>> session = GridSession(grid, "Alice Debye", "FZJ")
+    >>> handle = session.submit(job)          # -> JobHandle
+    >>> session.status(handle)                # -> JobStatusView
+    >>> session.wait(handle)                  # -> terminal JobStatusView
+    >>> session.outcome(handle)               # -> AJOOutcome tree
+
+— and layers the resilience mechanisms of :mod:`repro.faults` on top:
+
+* a :class:`~repro.faults.breaker.CircuitBreaker` guards the protocol
+  client, so a dead gateway fails fast instead of burning retry budget;
+* a consign that times out is re-targeted through the section-6
+  :class:`~repro.ext.broker.ResourceBroker` to the next-best Vsite
+  (possibly at another Usite — the session reconnects transparently);
+* :meth:`status` serves the last known view marked ``stale`` when the
+  gateway is unreachable (graceful degradation, never a blank screen);
+* :meth:`wait` rides out gateway/NJS crash windows that outlast the
+  protocol retry policy.
+
+Everything here is sugar over the applet classes — the generators in
+:mod:`repro.client` remain the primitive API for multi-user workloads
+that interleave inside one simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+from dataclasses import dataclass
+
+from repro.client.jmc import JobMonitorController
+from repro.client.jpa import JobBuilder, JobPreparationAgent
+from repro.ext.broker import ResourceBroker
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.errors import CircuitOpenError, ServiceUnavailable
+from repro.net.errors import ConnectionLost
+from repro.observability import telemetry_for
+from repro.protocol.retry import RetryExhausted
+from repro.protocol.views import JobListing, JobStatusView
+from repro.resources.model import ResourceRequest
+from repro.errors import ReproError
+
+if typing.TYPE_CHECKING:
+    from repro.client.browser import UnicoreSession
+    from repro.grid.build import Grid, GridUser
+
+__all__ = ["GridSession", "JobHandle"]
+
+#: Errors that mean "the road to the Usite is out" (or its NJS is), not
+#: "the job is bad" — the ones worth retrying elsewhere.
+_TRANSPORT_ERRORS = (
+    RetryExhausted, CircuitOpenError, ConnectionLost, ServiceUnavailable,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class JobHandle:
+    """An opaque reference to one consigned job.
+
+    Carries the Usite the job actually landed on — after a broker
+    failover that may differ from the session's home site, and every
+    facade verb routes through the right gateway because of it.
+    """
+
+    job_id: str
+    name: str
+    usite: str
+    vsite: str
+    #: Trace of the whole submit->outcome pipeline (see observability).
+    trace_id: str = ""
+    #: True when the consign was re-targeted by the broker after the
+    #: primary Vsite timed out.
+    failed_over: bool = False
+
+    def __str__(self) -> str:  # handles read naturally in logs
+        return self.job_id
+
+
+class GridSession:
+    """A user's connection to the grid, with resilience built in.
+
+    Construction runs the full browser handshake (mutual SSL, applet
+    download and signature check, resource-page fetch) to the named home
+    Usite, then arms a circuit breaker on the protocol client.  All
+    methods are *blocking* from the caller's point of view: each drives
+    the underlying applet generator to completion inside the simulator,
+    exactly like :meth:`repro.grid.build.Grid.connect_user`.
+    """
+
+    #: How many broker-ranked alternates to try after a consign timeout.
+    FAILOVER_CANDIDATES = 3
+    #: :meth:`wait` tolerance for outages longer than the retry policy:
+    #: how many times to re-enter the poll loop, and the pause between
+    #: attempts (comfortably past the breaker cooldown).
+    WAIT_OUTAGE_RETRIES = 8
+    WAIT_RETRY_DELAY_S = 120.0
+
+    def __init__(
+        self,
+        grid: "Grid",
+        user: "GridUser | str",
+        usite: str,
+        breaker: CircuitBreaker | None = None,
+        failover: bool = True,
+    ) -> None:
+        self.grid = grid
+        self.user = grid.users[user] if isinstance(user, str) else user
+        self.usite = usite
+        self.failover_enabled = failover
+        self.sim = grid.sim
+        self._telemetry = telemetry_for(grid.sim)
+        #: Usite name -> (UnicoreSession, JPA, JMC); the home site is
+        #: connected eagerly, failover sites lazily.
+        self._tiers: dict[str, tuple["UnicoreSession", JobPreparationAgent,
+                                     JobMonitorController]] = {}
+        session, _, _ = self._connect(usite)
+        if breaker is None:
+            breaker = CircuitBreaker(grid.sim, name=f"{self.user.name}@{usite}")
+        session.client.breaker = breaker
+        self.breaker = breaker
+
+    @property
+    def session(self) -> "UnicoreSession":
+        """The underlying authenticated session with the home Usite."""
+        return self._tiers[self.usite][0]
+
+    # -- plumbing ------------------------------------------------------------
+    def _connect(
+        self, usite: str
+    ) -> tuple["UnicoreSession", JobPreparationAgent, JobMonitorController]:
+        tier = self._tiers.get(usite)
+        if tier is None:
+            session = self.grid.connect_user(self.user, usite)
+            tier = (
+                session,
+                JobPreparationAgent(session),
+                JobMonitorController(session),
+            )
+            self._tiers[usite] = tier
+        return tier
+
+    def _run(self, gen, name: str):
+        """Drive one applet generator to completion (blocking pattern)."""
+        proc = self.sim.process(gen, name=f"api:{name}:{self.user.name}")
+        return self.sim.run(until=proc)
+
+    @staticmethod
+    def _job_id(handle: "JobHandle | str") -> str:
+        return handle.job_id if isinstance(handle, JobHandle) else handle
+
+    def _jmc_for(self, handle: "JobHandle | str") -> JobMonitorController:
+        usite = handle.usite if isinstance(handle, JobHandle) else self.usite
+        return self._connect(usite)[2]
+
+    # -- authoring -----------------------------------------------------------
+    def new_job(
+        self,
+        name: str,
+        vsite: str | None = None,
+        usite: str | None = None,
+        account_group: str = "",
+    ) -> JobBuilder:
+        """A builder bound for ``vsite`` (default: the home Usite's first).
+
+        Naming another ``usite`` authors the job against that site's
+        gateway instead; :meth:`submit` routes it there automatically.
+        """
+        usite = usite or self.usite
+        if vsite is None:
+            vsite = next(iter(self.grid.usites[usite].vsites))
+        return self._connect(usite)[1].new_job(
+            name, vsite=vsite, account_group=account_group
+        )
+
+    # -- the four verbs ------------------------------------------------------
+    def submit(
+        self, job: JobBuilder, workstation=None
+    ) -> JobHandle:
+        """Consign ``job``; on timeout, fail over via the resource broker.
+
+        Returns a :class:`JobHandle` naming the site that accepted the
+        job.  Validation failures raise immediately (another Vsite would
+        reject the same job); only transport-level failures — retry
+        budget exhausted, circuit open, connection lost — trigger the
+        broker.
+        """
+        workstation = workstation or self.user.workstation
+        ajo = job.ajo
+        home_vsite, home_usite = ajo.vsite, ajo.usite
+        try:
+            job_id = self._run(
+                self._connect(ajo.usite)[1].submit(job, workstation=workstation),
+                name=f"submit:{ajo.name}",
+            )
+            return self._handle_for(job_id, ajo, failed_over=False)
+        except _TRANSPORT_ERRORS as primary_err:
+            if not self.failover_enabled:
+                raise
+            handle = self._submit_failover(job, workstation, primary_err)
+            if handle is None:
+                ajo.vsite, ajo.usite = home_vsite, home_usite
+                raise
+            return handle
+
+    def _handle_for(self, job_id: str, ajo, failed_over: bool) -> JobHandle:
+        tracer = self._telemetry.tracer
+        return JobHandle(
+            job_id=job_id,
+            name=ajo.name,
+            usite=ajo.usite,
+            vsite=ajo.vsite,
+            trace_id=tracer.trace_id_for_job(job_id) or "",
+            failed_over=failed_over,
+        )
+
+    def _submit_failover(
+        self, job: JobBuilder, workstation, primary_err: Exception
+    ) -> JobHandle | None:
+        """Re-target the AJO to broker-ranked alternates, best first."""
+        ajo = job.ajo
+        failed_vsite = ajo.vsite
+        broker = ResourceBroker.for_grid(self.grid)
+        ranked = [
+            cand
+            for cand in broker.candidates(
+                self._aggregate_request(ajo), self._required_software(ajo)
+            )
+            if cand.vsite != failed_vsite
+        ][: self.FAILOVER_CANDIDATES]
+        metrics = self._telemetry.metrics
+        tracer = self._telemetry.tracer
+        for cand in ranked:
+            metrics.counter("api.failover_attempts").inc()
+            span = tracer.start_span(
+                "session.failover",
+                tracer.new_trace("failover"),
+                tier="user",
+                job=ajo.name,
+                from_vsite=failed_vsite,
+                to_vsite=cand.vsite,
+                cause=type(primary_err).__name__,
+            )
+            ajo.vsite, ajo.usite = cand.vsite, cand.usite
+            try:
+                job_id = self._run(
+                    self._connect(cand.usite)[1].submit(job, workstation=workstation),
+                    name=f"failover:{ajo.name}",
+                )
+            except ReproError as err:
+                # This alternate is down or refuses the user; try the next.
+                tracer.end_span(span, error=err)
+                continue
+            tracer.end_span(span.set(job_id=job_id))
+            metrics.counter("api.failovers").inc()
+            return self._handle_for(job_id, ajo, failed_over=True)
+        return None
+
+    @staticmethod
+    def _aggregate_request(ajo) -> ResourceRequest:
+        """The job's peak demands, for broker feasibility ranking."""
+        cpus, time_s, memory = 1, 0.0, 0.0
+        for node in ajo.walk():
+            res = getattr(node, "resources", None)
+            if isinstance(res, ResourceRequest):
+                cpus = max(cpus, res.cpus)
+                time_s = max(time_s, res.time_s)
+                memory = max(memory, res.memory_mb)
+        return ResourceRequest(cpus=cpus, time_s=time_s or 3600.0,
+                               memory_mb=memory or 64.0)
+
+    @staticmethod
+    def _required_software(ajo) -> list[tuple[str, str]]:
+        seen: list[tuple[str, str]] = []
+        for node in ajo.walk():
+            req = getattr(node, "required_software", None)
+            if callable(req):
+                for item in req():
+                    if item not in seen:
+                        seen.append(item)
+        return seen
+
+    def status(
+        self, handle: "JobHandle | str", allow_stale: bool = True
+    ) -> JobStatusView:
+        """The job's status tree; a cached view marked stale during outages."""
+        jmc = self._jmc_for(handle)
+        tree = self._run(
+            jmc.status(self._job_id(handle), allow_stale=allow_stale),
+            name="status",
+        )
+        return JobStatusView.from_dict(tree)
+
+    def wait(
+        self, handle: "JobHandle | str", max_polls: int = 10_000
+    ) -> JobStatusView:
+        """Block until the job is terminal, riding out crash windows."""
+        tree = self._run(
+            self._wait_gen(self._jmc_for(handle), self._job_id(handle), max_polls),
+            name="wait",
+        )
+        return JobStatusView.from_dict(tree)
+
+    def _wait_gen(self, jmc: JobMonitorController, job_id: str, max_polls: int):
+        for attempt in range(self.WAIT_OUTAGE_RETRIES + 1):
+            try:
+                result = yield from jmc.wait_for_completion(job_id, max_polls)
+                return result
+            except _TRANSPORT_ERRORS:
+                if attempt >= self.WAIT_OUTAGE_RETRIES:
+                    raise
+                self._telemetry.metrics.counter("api.wait_retries").inc()
+                yield self.sim.timeout(self.WAIT_RETRY_DELAY_S)
+
+    def outcome(self, handle: "JobHandle | str"):
+        """The full Outcome tree (stdout/stderr included) of a finished job."""
+        jmc = self._jmc_for(handle)
+        return self._run(jmc.outcome(self._job_id(handle)), name="outcome")
+
+    def cancel(self, handle: "JobHandle | str") -> dict:
+        """Abort the job wherever its parts currently are."""
+        jmc = self._jmc_for(handle)
+        return self._run(jmc.cancel(self._job_id(handle)), name="cancel")
+
+    # -- the rest of the JMC, facaded for completeness -----------------------
+    def hold(self, handle: "JobHandle | str") -> dict:
+        jmc = self._jmc_for(handle)
+        return self._run(jmc.hold(self._job_id(handle)), name="hold")
+
+    def resume(self, handle: "JobHandle | str") -> dict:
+        jmc = self._jmc_for(handle)
+        return self._run(jmc.resume(self._job_id(handle)), name="resume")
+
+    def list_jobs(self, usite: str | None = None) -> list[JobListing]:
+        """The user's jobs at one Usite (default: the home site)."""
+        jmc = self._connect(usite or self.usite)[2]
+        rows = self._run(jmc.list_jobs(), name="list")
+        return [JobListing.from_dict(row) for row in rows]
+
+    def fetch_file(
+        self, handle: "JobHandle | str", path: str, save_as: str | None = None
+    ) -> bytes:
+        """Bring one Uspace file back to the user's workstation."""
+        jmc = self._jmc_for(handle)
+        return self._run(
+            jmc.fetch_file(
+                self._job_id(handle), path,
+                workstation=self.user.workstation, save_as=save_as,
+            ),
+            name="fetch",
+        )
+
+    def dispose(self, handle: "JobHandle | str") -> dict:
+        jmc = self._jmc_for(handle)
+        return self._run(jmc.dispose(self._job_id(handle)), name="dispose")
+
+    def render(self, view: JobStatusView) -> str:
+        """The JMC's colored status tree, from a typed view."""
+        return JobMonitorController.render_tree(view.to_dict())
+
+    # -- simulation helper ---------------------------------------------------
+    def advance(self, seconds: float) -> None:
+        """Let simulated time pass (jobs run; nothing blocks on it)."""
+        self.sim.run(until=self.sim.now + seconds)

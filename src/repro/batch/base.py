@@ -23,6 +23,7 @@ from repro.batch.dialects import dialect_for
 from repro.batch.errors import (
     BatchError,
     JobRejectedError,
+    SystemOfflineError,
     UnknownJobError,
     UnknownQueueError,
 )
@@ -196,6 +197,9 @@ class BatchSystem:
         self._running: dict[str, BatchJobRecord] = {}
         self._records: dict[str, BatchJobRecord] = {}
         self._ids = count(1)
+        #: True while the whole system is down (a simulated outage):
+        #: submissions are refused, queued jobs wait, nothing starts.
+        self.offline = False
 
         # Utilization accounting: integral of busy CPUs over time.
         self._busy_integral = 0.0
@@ -208,6 +212,10 @@ class BatchSystem:
         Raises :class:`JobRejectedError` on queue-limit violations and
         :class:`BatchError` if the script is not in this system's dialect.
         """
+        if self.offline:
+            raise SystemOfflineError(
+                f"{self.machine.name} is offline; submission refused"
+            )
         queue = self.queues.get(spec.queue)
         if queue is None:
             raise UnknownQueueError(
@@ -272,6 +280,46 @@ class BatchSystem:
                 f"{self.machine.name}: unknown job {job_id!r}"
             ) from None
 
+    # -- simulated hardware faults (driven by repro.faults) ----------------
+    def fail_job(self, job_id: str, reason: str = "node failure") -> None:
+        """Kill one *running* job as a hardware fault (exit code 139).
+
+        Unlike :meth:`cancel` this marks the job FAILED, so the NJS's
+        task-retry loop can tell an operator's kill (final) from a dead
+        node (worth resubmitting).
+        """
+        record = self.query(job_id)
+        if record.state is not BatchState.RUNNING:
+            raise BatchError(
+                f"job {job_id} is {record.state.value}; only running jobs "
+                "can suffer a node failure"
+            )
+        telemetry_for(self.sim).metrics.counter("batch.node_failures").inc()
+        record._process.interrupt(  # type: ignore[attr-defined]
+            cause=("node-failure", reason)
+        )
+
+    def set_offline(self, offline: bool) -> None:
+        """Take the whole system down (or bring it back).
+
+        Going down node-fails every running job; queued jobs survive the
+        outage and are scheduled again once the system returns.
+        """
+        if offline == self.offline:
+            return
+        self.offline = offline
+        telemetry = telemetry_for(self.sim)
+        if offline:
+            telemetry.metrics.counter("batch.outages").inc()
+            for job_id in sorted(self._running):
+                self.fail_job(job_id, reason="node failure (system outage)")
+        else:
+            self._schedule_pass()
+
+    def running_job_ids(self) -> list[str]:
+        """Identifiers of currently running jobs (fault-target picking)."""
+        return sorted(self._running)
+
     def local_state_name(self, job_id: str) -> str:
         """The job's state in the vendor's own nomenclature."""
         record = self.query(job_id)
@@ -311,6 +359,8 @@ class BatchSystem:
         self._last_account = self.sim.now
 
     def _schedule_pass(self) -> None:
+        if self.offline:
+            return
         startable = self.scheduler.select(
             self._pending, self.free_cpus, self.sim.now, list(self._running.values())
         )
@@ -351,9 +401,19 @@ class BatchSystem:
         over_limit = spec.actual_runtime > limit
         try:
             yield self.sim.timeout(runtime)
-        except Interrupt:
+        except Interrupt as intr:
             self._release(record)
-            self._finish(record, BatchState.CANCELLED, reason="cancelled by operator")
+            cause = intr.cause
+            if isinstance(cause, tuple) and cause and cause[0] == "node-failure":
+                # The node died under the job: a genuine failure, not an
+                # operator decision — exit as a killed process would.
+                self._finish(
+                    record, BatchState.FAILED, exit_code=139, reason=cause[1]
+                )
+            else:
+                self._finish(
+                    record, BatchState.CANCELLED, reason="cancelled by operator"
+                )
             self._schedule_pass()
             return
         self._release(record)

@@ -1,19 +1,45 @@
 """Exceptions for the batch subsystems."""
 
-__all__ = ["BatchError", "UnknownQueueError", "JobRejectedError", "UnknownJobError"]
+from repro.errors import ReproError
+
+__all__ = [
+    "BatchError",
+    "UnknownQueueError",
+    "JobRejectedError",
+    "UnknownJobError",
+    "SystemOfflineError",
+]
 
 
-class BatchError(Exception):
+class BatchError(ReproError):
     """Base class for batch-system errors."""
+
+    code = "batch.error"
 
 
 class UnknownQueueError(BatchError):
     """The named queue does not exist on this system."""
 
+    code = "batch.unknown_queue"
+
 
 class JobRejectedError(BatchError):
     """The job violates queue limits or machine capacity."""
 
+    code = "batch.rejected"
+
 
 class UnknownJobError(BatchError):
     """No job with that identifier is known to this system."""
+
+    code = "batch.unknown_job"
+
+
+class SystemOfflineError(BatchError):
+    """The batch system is down for the moment; submission was refused.
+
+    Unlike :class:`JobRejectedError` this is *transient* — the NJS's
+    task-retry loop resubmits after a delay instead of failing the task.
+    """
+
+    code = "batch.offline"

@@ -16,8 +16,11 @@ from repro.ajo.outcome import AJOOutcome, Outcome, TaskOutcome
 from repro.ajo.serialize import decode_outcome, encode_service
 from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
 from repro.client.browser import UnicoreSession
+from repro.faults.errors import CircuitOpenError
 from repro.observability import telemetry_for
 from repro.protocol.messages import Request, RequestKind
+from repro.protocol.retry import RetryExhausted
+from repro.protocol.views import JobStatusView
 from repro.vfs.spaces import Workstation
 
 __all__ = ["JobMonitorController"]
@@ -30,6 +33,9 @@ class JobMonitorController:
 
     def __init__(self, session: UnicoreSession) -> None:
         self.session = session
+        #: Last good status tree per job as ``(sim_time, tree)``, for
+        #: stale-but-served display during gateway outages.
+        self._status_cache: dict[str, tuple[float, dict]] = {}
 
     # -- monitoring (each method is a generator: yield from in a process) ----
     def list_jobs(self):
@@ -45,14 +51,39 @@ class JobMonitorController:
             raise RuntimeError(f"list failed: {reply.error}")
         return json.loads(reply.payload)
 
-    def status(self, job_id: str, detail: str = QueryService.DETAIL_TASKS):
+    def status(
+        self,
+        job_id: str,
+        detail: str = QueryService.DETAIL_TASKS,
+        allow_stale: bool = False,
+    ):
+        """The job's status tree; optionally degrade gracefully.
+
+        With ``allow_stale``, an unreachable gateway (retry budget
+        exhausted, or the circuit breaker open) does not raise: the last
+        good tree is re-served, flagged ``stale`` with the simulated
+        time it was cached — the JMC keeps showing *something* through
+        the outage instead of a blank display.
+        """
         service = QueryService("status", target_job_id=job_id, detail=detail)
-        reply = yield from self.session.client.query(
-            encode_service(service), user_dn=self.session.user_dn
-        )
+        try:
+            reply = yield from self.session.client.query(
+                encode_service(service), user_dn=self.session.user_dn
+            )
+        except (RetryExhausted, CircuitOpenError):
+            cached = self._status_cache.get(job_id)
+            if not allow_stale or cached is None:
+                raise
+            telemetry_for(self.session.client.sim).metrics.counter(
+                "client.stale_status_serves"
+            ).inc()
+            cached_at, tree = cached
+            return JobStatusView.from_dict(tree).marked_stale(cached_at).to_dict()
         if not reply.ok:
             raise RuntimeError(f"query failed: {reply.error}")
-        return json.loads(reply.payload)
+        tree = json.loads(reply.payload)
+        self._status_cache[job_id] = (self.session.client.sim.now, tree)
+        return tree
 
     def wait_for_completion(self, job_id: str, max_polls: int = 10_000):
         """Poll until the job reaches a terminal state (async pattern)."""

@@ -35,6 +35,7 @@ from repro.ajo.tasks import (
 from repro.ajo.validate import validate_ajo
 from repro.ajo.errors import ValidationError
 from repro.client.browser import UnicoreSession
+from repro.faults.errors import ServiceUnavailable
 from repro.observability import telemetry_for
 from repro.resources.check import check_request
 from repro.resources.model import ResourceRequest
@@ -312,6 +313,10 @@ class JobPreparationAgent:
             raise
         if not reply.ok:
             tracer.end_span(submit_span, error=reply.error)
+            if reply.error_code == ServiceUnavailable.code:
+                # The NJS is down, not the job bad: let resilient callers
+                # (GridSession failover) treat this as a transport fault.
+                raise ServiceUnavailable(f"consignment refused: {reply.error}")
             raise ValidationError(f"consignment rejected: {reply.error}")
         job_id = json.loads(reply.payload)["job_id"]
         tracer.end_span(submit_span)

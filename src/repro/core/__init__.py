@@ -1,64 +1,25 @@
-"""The paper's primary contribution, under one roof.
+"""Deprecated aggregate namespace — superseded by :mod:`repro.api`.
 
-UNICORE's core is not a single algorithm but the combination of four
-pieces: the recursive Abstract Job Object (:mod:`repro.ajo`), the
-asynchronous protocol that moves it (:mod:`repro.protocol`), the server
-tier that executes it — gateway plus NJS (:mod:`repro.server`) — and the
-client tier that authors and monitors it (:mod:`repro.client`).  This
-package re-exports that core API as a single namespace; the substrate
-packages (simkernel, net, security, resources, vfs, batch) stay separate,
-mirroring the DESIGN.md inventory.
+This package once re-exported the whole core API (AJO, protocol,
+server, client) as a single flat namespace.  With the
+:class:`repro.api.GridSession` facade as the supported public surface,
+the flat namespace is kept only for backward compatibility: every
+attribute still resolves, but the first access of each name emits a
+:class:`DeprecationWarning` pointing at its real home.
+
+Migrate as follows:
+
+* end-to-end job submission/monitoring -> :mod:`repro.api`;
+* AJO authoring types -> :mod:`repro.ajo`;
+* protocol primitives -> :mod:`repro.protocol`;
+* server/deployment classes -> :mod:`repro.server`;
+* applet-level client classes -> :mod:`repro.client`.
 """
 
-from repro.ajo import (
-    AbstractAction,
-    AbstractJobObject,
-    AbstractService,
-    AbstractTaskObject,
-    ActionStatus,
-    AJOOutcome,
-    CompileTask,
-    ControlService,
-    ExecuteScriptTask,
-    ExecuteTask,
-    ExportTask,
-    FileOutcome,
-    FileTask,
-    ImportTask,
-    LinkTask,
-    ListService,
-    Outcome,
-    QueryService,
-    TaskOutcome,
-    TransferTask,
-    UserTask,
-    decode_ajo,
-    decode_outcome,
-    encode_ajo,
-    encode_outcome,
-    validate_ajo,
-)
-from repro.client import (
-    Browser,
-    JobBuilder,
-    JobMonitorController,
-    JobPreparationAgent,
-    UnicoreSession,
-)
-from repro.protocol import (
-    AsyncProtocolClient,
-    Reply,
-    Request,
-    RequestKind,
-    RetryPolicy,
-)
-from repro.server import (
-    Gateway,
-    NetworkJobSupervisor,
-    TranslationTable,
-    Usite,
-    Vsite,
-)
+from __future__ import annotations
+
+import importlib
+import warnings
 
 __all__ = [
     "AJOOutcome",
@@ -77,8 +38,10 @@ __all__ = [
     "FileOutcome",
     "FileTask",
     "Gateway",
+    "GridSession",
     "ImportTask",
     "JobBuilder",
+    "JobHandle",
     "JobMonitorController",
     "JobPreparationAgent",
     "LinkTask",
@@ -103,3 +66,50 @@ __all__ = [
     "encode_outcome",
     "validate_ajo",
 ]
+
+#: name -> the module that actually defines it.
+_HOMES: dict[str, str] = {
+    "GridSession": "repro.api",
+    "JobHandle": "repro.api",
+    "Browser": "repro.client",
+    "JobBuilder": "repro.client",
+    "JobMonitorController": "repro.client",
+    "JobPreparationAgent": "repro.client",
+    "UnicoreSession": "repro.client",
+    "AsyncProtocolClient": "repro.protocol",
+    "Reply": "repro.protocol",
+    "Request": "repro.protocol",
+    "RequestKind": "repro.protocol",
+    "RetryPolicy": "repro.protocol",
+    "Gateway": "repro.server",
+    "NetworkJobSupervisor": "repro.server",
+    "TranslationTable": "repro.server",
+    "Usite": "repro.server",
+    "Vsite": "repro.server",
+}
+# Everything else lives in repro.ajo.
+for _name in __all__:
+    _HOMES.setdefault(_name, "repro.ajo")
+
+_warned: set[str] = set()
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.core.{name} is deprecated; import it from {home} "
+            "(or use the repro.api.GridSession facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    value = getattr(importlib.import_module(home), name)
+    globals()[name] = value  # warn once, then resolve at module speed
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,115 @@
+"""The unified exception hierarchy of the reproduction.
+
+Historically each layer grew its own error module (``net``, ``server``,
+``batch``, ``vfs``, ``resources``, ``security``, ``ajo``, ``protocol``),
+which forced facade callers to import from six places to write one
+``except`` clause.  Every layer base class now derives from
+:class:`ReproError`, so:
+
+* ``except ReproError`` catches anything the middleware itself raises
+  (simulated-infrastructure failures, validation, security refusals),
+  while genuine programming errors (``TypeError`` et al.) still escape;
+* every exception class carries a stable machine-readable :attr:`code`
+  (``"net.connection_lost"``, ``"server.consign"``, ...) that survives
+  refactors and message-text changes — the contract facade callers and
+  the fault-injection tooling key on.
+
+All historical names are re-exported here, so
+
+    from repro.errors import ConnectionLost, ConsignError, BatchError
+
+works regardless of which layer defines them.  The re-export is lazy
+(PEP 562) because the layer modules import :class:`ReproError` from
+here — eager imports would cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    # net
+    "NetworkError", "HostUnreachable", "ConnectionLost",
+    # server
+    "ServerError", "ConsignError", "IncarnationError", "UnknownUnicoreJobError",
+    # batch
+    "BatchError", "UnknownQueueError", "JobRejectedError", "UnknownJobError",
+    "SystemOfflineError",
+    # vfs
+    "VFSError", "FileNotFoundVFSError", "FileExistsVFSError", "QuotaExceededError",
+    # resources
+    "ResourceError", "ResourcePageError", "ResourceRequestError",
+    # security
+    "SecurityError", "CertificateError", "CertificateExpired",
+    "CertificateRevoked", "UntrustedIssuer", "SignatureInvalid",
+    "TamperedBundleError", "AuthenticationError", "MappingError",
+    # ajo
+    "AJOError", "ValidationError", "DependencyCycleError", "SerializationError",
+    # protocol
+    "RetryExhausted",
+    # faults / resilience
+    "FaultError", "CircuitOpenError", "ServiceUnavailable",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error the simulated middleware raises.
+
+    :attr:`code` is a stable dotted identifier (``layer.condition``)
+    meant for programmatic handling; subclasses override it.
+    """
+
+    code: str = "repro.error"
+
+
+#: Which layer module defines each re-exported name.
+_HOMES = {
+    "NetworkError": "repro.net.errors",
+    "HostUnreachable": "repro.net.errors",
+    "ConnectionLost": "repro.net.errors",
+    "ServerError": "repro.server.errors",
+    "ConsignError": "repro.server.errors",
+    "IncarnationError": "repro.server.errors",
+    "UnknownUnicoreJobError": "repro.server.errors",
+    "BatchError": "repro.batch.errors",
+    "UnknownQueueError": "repro.batch.errors",
+    "JobRejectedError": "repro.batch.errors",
+    "UnknownJobError": "repro.batch.errors",
+    "SystemOfflineError": "repro.batch.errors",
+    "VFSError": "repro.vfs.errors",
+    "FileNotFoundVFSError": "repro.vfs.errors",
+    "FileExistsVFSError": "repro.vfs.errors",
+    "QuotaExceededError": "repro.vfs.errors",
+    "ResourceError": "repro.resources.errors",
+    "ResourcePageError": "repro.resources.errors",
+    "ResourceRequestError": "repro.resources.errors",
+    "SecurityError": "repro.security.errors",
+    "CertificateError": "repro.security.errors",
+    "CertificateExpired": "repro.security.errors",
+    "CertificateRevoked": "repro.security.errors",
+    "UntrustedIssuer": "repro.security.errors",
+    "SignatureInvalid": "repro.security.errors",
+    "TamperedBundleError": "repro.security.errors",
+    "AuthenticationError": "repro.security.errors",
+    "MappingError": "repro.security.errors",
+    "AJOError": "repro.ajo.errors",
+    "ValidationError": "repro.ajo.errors",
+    "DependencyCycleError": "repro.ajo.errors",
+    "SerializationError": "repro.ajo.errors",
+    "RetryExhausted": "repro.protocol.retry",
+    "FaultError": "repro.faults.errors",
+    "CircuitOpenError": "repro.faults.errors",
+    "ServiceUnavailable": "repro.faults.errors",
+}
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

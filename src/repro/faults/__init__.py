@@ -1,0 +1,31 @@
+"""Deterministic fault injection and resilience primitives.
+
+This package is the chaos side of the reproduction: seeded
+:class:`FaultPlan` schedules (channel drops, latency spikes, server
+crashes, Vsite outages, node failures), the :class:`FaultInjector` that
+applies them to a built grid, and the :class:`CircuitBreaker` the
+protocol client uses to stop hammering a dead gateway.  The recovery
+mechanisms themselves live with the components they protect (NJS
+journal replay in :mod:`repro.server.njs`, task resubmission in the
+supervisor, stale-status serving in the JMC).
+"""
+
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.faults.errors import CircuitOpenError, FaultError, ServiceUnavailable
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultTargets
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultError",
+    "ServiceUnavailable",
+    "FaultInjector",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultTargets",
+]

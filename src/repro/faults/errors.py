@@ -1,0 +1,30 @@
+"""Exceptions for the fault-injection and resilience layer."""
+
+from repro.errors import ReproError
+
+__all__ = ["FaultError", "CircuitOpenError", "ServiceUnavailable"]
+
+
+class FaultError(ReproError):
+    """Base class for fault-injection errors."""
+
+    code = "faults.error"
+
+
+class CircuitOpenError(FaultError):
+    """Fast-fail: the circuit breaker is open, the call was not attempted."""
+
+    code = "faults.circuit_open"
+
+
+class ServiceUnavailable(FaultError):
+    """A crashed server component refused the operation.
+
+    Raised by an NJS whose in-memory state is gone (between
+    :meth:`~repro.server.njs.supervisor.NetworkJobSupervisor.crash` and
+    the journal replay on restart) and by an offline batch system; the
+    gateway reports it to the client, whose polling loop simply tries
+    again later.
+    """
+
+    code = "faults.unavailable"

@@ -1,15 +1,23 @@
 """Exceptions for the simulated network."""
 
+from repro.errors import ReproError
+
 __all__ = ["NetworkError", "HostUnreachable", "ConnectionLost"]
 
 
-class NetworkError(Exception):
+class NetworkError(ReproError):
     """Base class for simulated-network errors."""
+
+    code = "net.error"
 
 
 class HostUnreachable(NetworkError):
     """No link exists between the two hosts."""
 
+    code = "net.unreachable"
+
 
 class ConnectionLost(NetworkError):
     """A message was lost in transit (the sender times out waiting)."""
+
+    code = "net.connection_lost"

@@ -19,6 +19,9 @@ from repro.protocol.messages import Reply, Request
 from repro.protocol.retry import RetryExhausted, RetryPolicy
 from repro.simkernel import Event, Simulator
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.breaker import CircuitBreaker
+
 __all__ = ["ReplyRouter", "AsyncProtocolClient"]
 
 
@@ -79,6 +82,7 @@ class AsyncProtocolClient:
         retry: RetryPolicy | None = None,
         poll_interval_s: float = 30.0,
         response_timeout_s: float = 60.0,
+        breaker: "CircuitBreaker | None" = None,
     ) -> None:
         self.sim = sim
         self.channel = channel
@@ -86,6 +90,10 @@ class AsyncProtocolClient:
         self.retry = retry or RetryPolicy()
         self.poll_interval_s = poll_interval_s
         self.response_timeout_s = response_timeout_s
+        #: Optional circuit breaker: open means interactions fast-fail
+        #: with :class:`~repro.faults.errors.CircuitOpenError` instead of
+        #: burning the full retry budget against a dead gateway.
+        self.breaker = breaker
         #: Instrumentation for experiment E4.
         self.requests_sent = 0
         self.retries = 0
@@ -100,6 +108,8 @@ class AsyncProtocolClient:
         Raises :class:`RetryExhausted` when the policy gives up, and
         re-raises server-side errors as-is inside the failed Reply.
         """
+        if self.breaker is not None:
+            self.breaker.check()
         telemetry = telemetry_for(self.sim)
         tracer = telemetry.tracer
         interact_span = None
@@ -136,6 +146,8 @@ class AsyncProtocolClient:
                     if attempt_span is not None:
                         tracer.end_span(attempt_span)
                         tracer.end_span(interact_span)
+                    if self.breaker is not None:
+                        self.breaker.record_success()
                     return typing.cast(Reply, fired[reply_ev])
                 last_error = ConnectionLost(
                     f"no reply to request {request.request_id} within "
@@ -155,6 +167,8 @@ class AsyncProtocolClient:
         assert last_error is not None
         if interact_span is not None:
             tracer.end_span(interact_span, error=last_error)
+        if self.breaker is not None:
+            self.breaker.record_failure()
         raise RetryExhausted(self.retry.max_attempts, last_error)
 
     def consign(

@@ -75,6 +75,10 @@ class Reply:
     ok: bool
     payload: bytes = b""
     error: str = ""
+    #: Stable machine-readable code of the server-side exception (the
+    #: :attr:`repro.errors.ReproError.code` contract), e.g.
+    #: ``"faults.unavailable"``.  Empty for successes and legacy errors.
+    error_code: str = ""
 
     @property
     def wire_size(self) -> int:

@@ -4,11 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ReproError
+
 __all__ = ["RetryPolicy", "RetryExhausted"]
 
 
-class RetryExhausted(Exception):
+class RetryExhausted(ReproError):
     """All attempts failed; carries the last underlying error."""
+
+    code = "protocol.retry_exhausted"
 
     def __init__(self, attempts: int, last_error: BaseException) -> None:
         super().__init__(f"gave up after {attempts} attempts: {last_error}")

@@ -1,0 +1,112 @@
+"""Typed read-model views crossing the query/list protocol edge.
+
+:meth:`NetworkJobSupervisor.query_status` and
+:meth:`~repro.server.njs.supervisor.NetworkJobSupervisor.list_jobs`
+used to hand ad-hoc ``dict`` trees straight to the gateway, which
+``json.dumps``-ed whatever happened to be inside.  These frozen
+dataclasses pin the schema down: the NJS builds views, the *gateway*
+serializes them at the protocol edge (and only there), and facade
+clients reconstruct them from the wire form with :meth:`from_dict`.
+
+``stale`` / ``as_of`` support graceful degradation: a client that cannot
+reach the gateway may re-serve its last good view, marked stale so the
+user-facing layer can color it accordingly.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, replace
+
+__all__ = ["JobStatusView", "JobListing"]
+
+
+@dataclass(frozen=True, slots=True)
+class JobStatusView:
+    """One node of the status tree the JMC displays.
+
+    The root node describes the job; ``children`` nest job groups and
+    (at task detail) tasks, mirroring the AJO structure.
+    """
+
+    id: str
+    name: str
+    status: str
+    color: str
+    children: tuple["JobStatusView", ...] = ()
+    #: True when this view was served from a client-side cache because
+    #: the gateway was unreachable (graceful degradation).
+    stale: bool = False
+    #: Simulated time the view was assembled (0.0 = not recorded).
+    as_of: float = 0.0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in ("successful", "failed", "killed", "not_attempted")
+
+    def to_dict(self) -> dict:
+        """The wire form (what the gateway serializes into the Reply)."""
+        out: dict = {
+            "id": self.id,
+            "name": self.name,
+            "status": self.status,
+            "color": self.color,
+        }
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        if self.stale:
+            out["stale"] = True
+            out["as_of"] = self.as_of
+        return out
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping) -> "JobStatusView":
+        return cls(
+            id=data.get("id", ""),
+            name=data.get("name", ""),
+            status=data["status"],
+            color=data.get("color", ""),
+            children=tuple(
+                cls.from_dict(c) for c in data.get("children", ())
+            ),
+            stale=bool(data.get("stale", False)),
+            as_of=float(data.get("as_of", 0.0)),
+        )
+
+    def marked_stale(self, as_of: float) -> "JobStatusView":
+        """A copy flagged as served-from-cache at simulated time ``as_of``."""
+        return replace(self, stale=True, as_of=as_of)
+
+
+@dataclass(frozen=True, slots=True)
+class JobListing:
+    """One row of the user's job list."""
+
+    job_id: str
+    name: str
+    status: str
+    submitted_at: float = 0.0
+    #: Set on jobs re-supervised from the journal after an NJS crash.
+    recovered: bool = False
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "job_id": self.job_id,
+            "name": self.name,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+        }
+        if self.recovered:
+            out["recovered"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping) -> "JobListing":
+        return cls(
+            job_id=data["job_id"],
+            name=data.get("name", ""),
+            status=data["status"],
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            recovered=bool(data.get("recovered", False)),
+        )
+

@@ -1,15 +1,23 @@
 """Exceptions for the resource-description model."""
 
+from repro.errors import ReproError
+
 __all__ = ["ResourceError", "ResourcePageError", "ResourceRequestError"]
 
 
-class ResourceError(Exception):
+class ResourceError(ReproError):
     """Base class for resource-model errors."""
+
+    code = "resources.error"
 
 
 class ResourcePageError(ResourceError):
     """A resource page is malformed or cannot be encoded/decoded."""
 
+    code = "resources.page"
+
 
 class ResourceRequestError(ResourceError):
     """A resource request is invalid or violates the target page's limits."""
+
+    code = "resources.request"

@@ -1,5 +1,7 @@
 """Exception hierarchy for the security substrate."""
 
+from repro.errors import ReproError
+
 __all__ = [
     "SecurityError",
     "CertificateError",
@@ -13,37 +15,55 @@ __all__ = [
 ]
 
 
-class SecurityError(Exception):
+class SecurityError(ReproError):
     """Base class for everything that can go wrong in the security layer."""
+
+    code = "security.error"
 
 
 class CertificateError(SecurityError):
     """A certificate is malformed or fails validation."""
 
+    code = "security.certificate"
+
 
 class CertificateExpired(CertificateError):
     """The certificate is outside its validity window."""
+
+    code = "security.certificate_expired"
 
 
 class CertificateRevoked(CertificateError):
     """The certificate appears on the issuing CA's revocation list."""
 
+    code = "security.certificate_revoked"
+
 
 class UntrustedIssuer(CertificateError):
     """No trusted CA vouches for this certificate."""
+
+    code = "security.untrusted_issuer"
 
 
 class SignatureInvalid(SecurityError):
     """A digital signature does not verify against the claimed key."""
 
+    code = "security.signature_invalid"
+
 
 class TamperedBundleError(SecurityError):
     """A signed applet bundle's content does not match its signed manifest."""
+
+    code = "security.tampered_bundle"
 
 
 class AuthenticationError(SecurityError):
     """Mutual authentication (SSL handshake) failed."""
 
+    code = "security.authentication"
+
 
 class MappingError(SecurityError):
     """The UUDB has no entry mapping this distinguished name to a local uid."""
+
+    code = "security.mapping"

@@ -83,8 +83,25 @@ class Gateway:
         #: Instrumentation.
         self.requests_served = 0
         self.auth_failures = 0
+        #: True while crashed: inbound requests are silently dropped (the
+        #: client's retry/breaker machinery deals with the dead air).
+        self.down = False
 
         sim.process(self._server_loop(), name=f"gateway:{usite_name}")
+
+    # -- simulated crashes (driven by repro.faults) -------------------------
+    def crash(self) -> None:
+        """Stop serving.  Channels and the reply cache survive — the
+        process restarts on the same host, and the reply cache is what
+        keeps retried consigns idempotent across the outage."""
+        if not self.down:
+            self.down = True
+            telemetry_for(self.sim).metrics.counter("gateway.crashes").inc()
+
+    def restart(self) -> None:
+        if self.down:
+            self.down = False
+            telemetry_for(self.sim).metrics.counter("gateway.restarts").inc()
 
     # -- connection management ---------------------------------------------
     def register_channel(self, client_host: str, channel: HttpsChannel) -> None:
@@ -112,6 +129,11 @@ class Gateway:
     def _server_loop(self):
         while True:
             message = yield self.host.receive()
+            if self.down and isinstance(message.payload, Request):
+                telemetry_for(self.sim).metrics.counter(
+                    "gateway.dropped_requests"
+                ).inc()
+                continue
             if isinstance(message.payload, Request):
                 self.sim.process(
                     self._handle_request(message.sender, message.payload),
@@ -208,10 +230,18 @@ class Gateway:
             except ConnectionLost:
                 pass
 
+        from repro.faults.errors import ServiceUnavailable
+
         try:
             reply = self._dispatch(request, parent_span=request_span)
-        except (ConsignError, UnknownUnicoreJobError, SerializationError, ServerError) as err:
-            reply = Reply(request_id=request.request_id, ok=False, error=str(err))
+        except (
+            ConsignError, UnknownUnicoreJobError, SerializationError,
+            ServerError, ServiceUnavailable,
+        ) as err:
+            reply = Reply(
+                request_id=request.request_id, ok=False, error=str(err),
+                error_code=getattr(err, "code", ""),
+            )
 
         if self.njs.host.name != self.host.name:
             try:
@@ -253,10 +283,11 @@ class Gateway:
             if not isinstance(service, QueryService):
                 raise SerializationError("QUERY request must carry a QueryService")
             self._authorize_job(service.target_job_id, request.user_dn)
-            tree = self.njs.query_status(service.target_job_id, detail=service.detail)
+            view = self.njs.query_status(service.target_job_id, detail=service.detail)
+            # Serialization happens here, at the protocol edge, only.
             return Reply(
                 request_id=request.request_id, ok=True,
-                payload=json.dumps(tree).encode(),
+                payload=json.dumps(view.to_dict()).encode(),
             )
 
         if request.kind == RequestKind.LIST:
@@ -266,7 +297,7 @@ class Gateway:
             jobs = self.njs.list_jobs(request.user_dn)
             return Reply(
                 request_id=request.request_id, ok=True,
-                payload=json.dumps(jobs).encode(),
+                payload=json.dumps([j.to_dict() for j in jobs]).encode(),
             )
 
         if request.kind == RequestKind.CONTROL:

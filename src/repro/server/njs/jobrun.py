@@ -61,6 +61,11 @@ class JobRun:
     #: beyond UNICORE's reach — site autonomy); resume releases them.
     held: bool = False
     hold_released: Event | None = None
+    #: True when this run was rebuilt from the NJS journal after a crash.
+    recovered: bool = False
+    #: Supervision processes spawned for this run; interrupted on crash
+    #: so a journal replay never races orphaned supervisors.
+    processes: list = field(default_factory=list)
 
     @classmethod
     def create(

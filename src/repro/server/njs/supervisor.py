@@ -42,9 +42,11 @@ from repro.ajo.tasks import (
 from repro.ajo.validate import validate_ajo
 from repro.ajo.errors import ValidationError
 from repro.batch.base import BatchState, FileEffect
-from repro.batch.errors import BatchError
+from repro.batch.errors import BatchError, SystemOfflineError, UnknownJobError
+from repro.faults.errors import ServiceUnavailable
 from repro.net.transport import Host, Network
 from repro.observability import telemetry_for
+from repro.protocol.views import JobListing, JobStatusView
 from repro.resources.check import check_request
 from repro.security.errors import MappingError
 from repro.security.ssl import HANDSHAKE_ROUND_TRIPS, SSLSession
@@ -53,6 +55,7 @@ from repro.server.errors import ConsignError, UnknownUnicoreJobError
 from repro.server.njs.codine_layer import CodineJobControl
 from repro.server.njs.incarnation import incarnate_task
 from repro.server.njs.jobrun import JobRun
+from repro.server.njs.journal import JobJournal, JournalEntry
 from repro.server.vsite import Vsite
 from repro.simkernel import Simulator
 from repro.vfs.errors import VFSError
@@ -216,10 +219,18 @@ class NetworkJobSupervisor:
         #: peer Usite -> (route hops, handshake_done flag).
         self._peer_routes: dict[str, list[tuple[str, str]]] = {}
         self._peer_sessions: set[str] = set()
+        #: Write-ahead journal (models durable site storage): survives
+        #: :meth:`crash`, drives :meth:`restart`'s replay.
+        self.journal = JobJournal()
+        #: True between :meth:`crash` and :meth:`restart`: in-memory
+        #: state is gone, every service raises ServiceUnavailable.
+        self.crashed = False
         #: Instrumentation.
         self.incarnations = 0
         self.forwarded_groups = 0
         self.transfers_bytes = 0
+        self.crashes = 0
+        self.replays = 0
 
         # When the NJS shares the gateway's host (no firewall split), the
         # gateway owns the inbox and forwards peer traffic to
@@ -241,12 +252,24 @@ class NetworkJobSupervisor:
         parent_job_id: str | None = None,
         trace_id: str = "",
         parent_span_id: str = "",
+        forward_meta: tuple | None = None,
+        job_id: str | None = None,
     ) -> JobRun:
         """Accept a job (or a forwarded job group); starts supervision.
 
         Raises :class:`ConsignError` on validation, mapping, or resource
         failures — the gateway reports these to the client synchronously.
+
+        ``job_id`` is only passed by journal replay: the recovered run
+        keeps its original identifier so clients polling through the
+        outage keep seeing their job.  ``forward_meta`` rides into the
+        journal so a replayed *forwarded* group can still report home.
         """
+        if self.crashed:
+            raise ServiceUnavailable(
+                f"NJS at {self.usite_name} is down; consign refused"
+            )
+        is_replay = job_id is not None
         tracer = telemetry_for(self.sim).tracer
         consign_span = None
         if trace_id:
@@ -272,7 +295,8 @@ class NetworkJobSupervisor:
                 tracer.end_span(consign_span, error=err)
             raise
 
-        job_id = f"U{next(self._job_seq):05d}@{self.usite_name}"
+        if job_id is None:
+            job_id = f"U{next(self._job_seq):05d}@{self.usite_name}"
         run = JobRun.create(
             self.sim, job_id, ajo, dn, workstation_files=workstation_files
         )
@@ -280,6 +304,16 @@ class NetworkJobSupervisor:
         self._runs[job_id] = run
         if parent_job_id is not None:
             self._foreign_runs[parent_job_id] = run
+        if not is_replay:
+            self.journal.record_consign(
+                job_id,
+                encode_ajo(ajo),
+                dn,
+                workstation_files=workstation_files,
+                trace_id=trace_id,
+                parent_job_id=parent_job_id,
+                forward_meta=forward_meta,
+            )
         if consign_span is not None:
             # The job span outlives the consign acknowledgement: it closes
             # in _run_job once supervision finishes.
@@ -288,7 +322,9 @@ class NetworkJobSupervisor:
                 job_id=job_id,
             )
             tracer.end_span(consign_span.set(job_id=job_id))
-        self.sim.process(self._run_job(run), name=f"job:{job_id}")
+        run.processes.append(
+            self.sim.process(self._run_job(run), name=f"job:{job_id}")
+        )
         return run
 
     def _check_destinations(self, group: AbstractJobObject, dn: str) -> None:
@@ -325,6 +361,8 @@ class NetworkJobSupervisor:
 
     # ------------------------------------------------------- job processes
     def _run_job(self, run: JobRun):
+        if self._runs.get(run.job_id) is not run:
+            return  # orphaned by a crash that raced the spawn
         yield from self._run_group(run, run.root)
         if run.job_span is not None:
             status = run.status()
@@ -332,6 +370,7 @@ class NetworkJobSupervisor:
                 run.job_span.set(status=status.value),
                 error=None if status is ActionStatus.SUCCESSFUL else status.value,
             )
+        self.journal.record_done(run.job_id)
         assert run.done_event is not None
         if not run.done_event.triggered:
             run.done_event.succeed(run.status())
@@ -355,9 +394,11 @@ class NetworkJobSupervisor:
                     uspace.write(path, content)
 
         for child in group.children:
-            self.sim.process(
-                self._run_child(run, group, child),
-                name=f"child:{child.id}",
+            run.processes.append(
+                self.sim.process(
+                    self._run_child(run, group, child),
+                    name=f"child:{child.id}",
+                )
             )
         for child in group.children:
             yield run.events[child.id]
@@ -376,6 +417,8 @@ class NetworkJobSupervisor:
         return ActionStatus.SUCCESSFUL
 
     def _run_child(self, run: JobRun, group: AbstractJobObject, child):
+        if self._runs.get(run.job_id) is not run:
+            return  # orphaned by a crash that raced the spawn
         # 1. Wait for predecessors (the "predefined sequence").
         deps = [d for d in group.dependencies if d.successor_id == child.id]
         failed_pred = None
@@ -487,6 +530,12 @@ class NetworkJobSupervisor:
         return None
 
     # ------------------------------------------------------------- executors
+    #: Bounded resubmission of tasks whose *node* failed (as opposed to
+    #: the task itself): delays grow linearly so a whole-Vsite outage of
+    #: up to ~3 simulated minutes is ridden out.
+    TASK_RETRIES = 4
+    TASK_RETRY_DELAY_S = 45.0
+
     def _run_execute(self, run, group, task, staged: dict[str, bytes]):
         vsite = self.vsites[group.vsite]
         uspace = run.uspaces[group.id]
@@ -552,19 +601,55 @@ class NetworkJobSupervisor:
         # "Transform the abstract job into a Codine internal format"
         # (section 5.5) before delivery to the destination system.
         self.codine.register(run.job_id, task.id, vsite.name, spec, self.sim.now)
-        try:
-            local_id = vsite.batch.submit(spec)
-        except BatchError as err:
-            self.codine.transition(task.id, BatchState.FAILED, self.sim.now)
-            run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
-            return
-        self.codine.bind_vendor_job(task.id, local_id)
-        run.batch_jobs[task.id] = (vsite.name, local_id)
-        outcome.submitted_at = self.sim.now
-        if not outcome.status.is_terminal:
-            outcome.mark(ActionStatus.QUEUED)
+        record = None
+        for attempt in range(1, self.TASK_RETRIES + 2):
+            try:
+                local_id = vsite.batch.submit(spec)
+            except SystemOfflineError as err:
+                # Transient: the Vsite is down right now; wait it out.
+                if attempt <= self.TASK_RETRIES and not run.cancelled:
+                    telemetry.metrics.counter("njs.task_retry_waits").inc()
+                    yield self.sim.timeout(self.TASK_RETRY_DELAY_S * attempt)
+                    continue
+                self.codine.transition(task.id, BatchState.FAILED, self.sim.now)
+                run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
+                return
+            except BatchError as err:
+                self.codine.transition(task.id, BatchState.FAILED, self.sim.now)
+                run.finish_action(task.id, ActionStatus.FAILED, reason=str(err))
+                return
+            self.codine.bind_vendor_job(task.id, local_id)
+            run.batch_jobs[task.id] = (vsite.name, local_id)
+            self.journal.record_delivery(
+                run.job_id, task.id, vsite.name, local_id
+            )
+            outcome.submitted_at = self.sim.now
+            if not outcome.status.is_terminal:
+                outcome.mark(ActionStatus.QUEUED)
 
-        record = yield vsite.batch.query(local_id).completion_event
+            record = yield vsite.batch.query(local_id).completion_event
+            if (
+                record.state is BatchState.FAILED
+                and record.reason.startswith("node failure")
+                and attempt <= self.TASK_RETRIES
+                and not run.cancelled
+            ):
+                # The *node* died, not the job: resubmit (bounded),
+                # leaving a recovery mark in the per-job trace.
+                telemetry.metrics.counter("njs.task_resubmissions").inc()
+                if run.trace_id:
+                    telemetry.tracer.end_span(
+                        telemetry.tracer.start_span(
+                            "njs.resubmit", run.trace_id,
+                            parent=run.job_span, tier="server",
+                            task=task.name, attempt=attempt,
+                            reason=record.reason,
+                        )
+                    )
+                yield self.sim.timeout(self.TASK_RETRY_DELAY_S * attempt)
+                continue
+            break
+        assert record is not None
         self.codine.transition(task.id, record.state, self.sim.now)
         outcome.completed_at = self.sim.now
         outcome.exit_code = record.exit_code
@@ -893,6 +978,16 @@ class NetworkJobSupervisor:
 
     def dispatch_peer_message(self, payload: object) -> bool:
         """Handle one NJS-to-NJS message; returns True if it was ours."""
+        if self.crashed and isinstance(
+            payload, (ForwardGroup, GroupResult, TransferFile, TransferAck,
+                      CancelGroup)
+        ):
+            # A dead process reads nothing: the message is simply lost
+            # (senders retry or fail their action, as with a lost frame).
+            telemetry_for(self.sim).metrics.counter(
+                "njs.dropped_peer_messages"
+            ).inc()
+            return True
         if isinstance(payload, ForwardGroup):
             self.sim.process(self._handle_forward(payload))
         elif isinstance(payload, TransferFile):
@@ -917,6 +1012,11 @@ class NetworkJobSupervisor:
                 parent_job_id=message.parent_job_id,
                 trace_id=message.trace_id,
                 parent_span_id=message.parent_span_id,
+                forward_meta=(
+                    message.corr_id,
+                    message.reply_usite,
+                    tuple(message.return_files),
+                ),
             )
         except Exception as err:  # noqa: BLE001 - reported back to the peer
             from repro.net.errors import ConnectionLost
@@ -937,15 +1037,27 @@ class NetworkJobSupervisor:
         # The parent expects these files back: the group's sink tasks
         # must produce them.
         run.group_expected[run.root.id] = tuple(message.return_files)
+        yield from self._finish_forward(
+            run, message.corr_id, message.reply_usite, message.return_files
+        )
+
+    def _finish_forward(
+        self,
+        run: JobRun,
+        corr_id: int,
+        reply_usite: str,
+        return_files: typing.Iterable[str],
+    ):
+        """Await a forwarded group and report home (also used by replay)."""
         yield run.done_event
         produced: dict[str, bytes] = {}
-        for path in message.return_files:
+        for path in return_files:
             for uspace in run.uspaces.values():
                 if uspace.exists(path):
                     produced[path] = uspace.read(path)
                     break
         reply = GroupResult(
-            corr_id=message.corr_id,
+            corr_id=corr_id,
             ok=True,
             outcome_bytes=encode_outcome(run.root_outcome),
             produced_files=produced,
@@ -954,7 +1066,7 @@ class NetworkJobSupervisor:
 
         try:
             yield from self._send_via_route(
-                message.reply_usite, reply, reply.wire_payload
+                reply_usite, reply, reply.wire_payload
             )
         except ConnectionLost:
             pass  # the parent NJS will surface the missing result
@@ -994,8 +1106,127 @@ class NetworkJobSupervisor:
         if run is not None:
             self.cancel(run.job_id)
 
+    # ------------------------------------------------------- crash / recovery
+    def crash(self) -> None:
+        """Kill the NJS process: all in-memory state is gone.
+
+        Supervision processes are interrupted (their process events
+        defused so the simulator does not treat orphan failures as
+        crashes), run tables and peer correlation state are wiped, and
+        every service raises :class:`ServiceUnavailable` until
+        :meth:`restart`.  The journal — durable storage — survives, and
+        so do *finished* runs: their outcomes live in Uspaces on the
+        site disk and their completion is journaled, so a crash after
+        completion must not make the job unknowable to later queries.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        telemetry_for(self.sim).metrics.counter("njs.crashes").inc()
+        finished = {
+            job_id: run
+            for job_id, run in self._runs.items()
+            if (entry := self.journal.entry(job_id)) is not None and entry.done
+        }
+        for run in list(self._runs.values()):
+            if run.job_id in finished:
+                continue
+            for proc in run.processes:
+                if proc.is_alive and proc.target is not None:
+                    proc.defuse()
+                    proc.interrupt(cause="njs-crash")
+        self._runs.clear()
+        self._runs.update(finished)
+        self._foreign_runs.clear()
+        self._early_files.clear()
+        self._pending.clear()
+        # SSL sessions to peers died with the process: re-handshake.
+        self._peer_sessions.clear()
+
+    def restart(self) -> None:
+        """Come back up and replay every incomplete journal entry."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        telemetry_for(self.sim).metrics.counter("njs.restarts").inc()
+        for entry in self.journal.incomplete():
+            self._replay(entry)
+
+    def _replay(self, entry: JournalEntry) -> None:
+        """Re-supervise one journaled job under its original id."""
+        telemetry = telemetry_for(self.sim)
+        # Orphaned batch jobs of the previous life: cancel the survivors
+        # (their supervisor is gone; the replay resubmits from scratch).
+        for vsite_name, local_id in entry.delivered.values():
+            vsite = self.vsites.get(vsite_name)
+            if vsite is None:
+                continue
+            try:
+                record = vsite.batch.query(local_id)
+                if not record.state.is_terminal:
+                    vsite.batch.cancel(local_id)
+            except (BatchError, UnknownJobError):
+                pass
+        entry.delivered.clear()
+        # Stale job directories would collide with the replay's creates.
+        prefix = f"{entry.job_id}."
+        for vsite in self.vsites.values():
+            for name in list(vsite.uspaces.active_jobs):
+                if name.startswith(prefix):
+                    vsite.uspaces.destroy(name)
+        try:
+            run = self.consign(
+                decode_ajo(entry.ajo_bytes),
+                user_dn=entry.user_dn,
+                workstation_files=entry.workstation_files,
+                parent_job_id=entry.parent_job_id,
+                trace_id=entry.trace_id,
+                job_id=entry.job_id,
+            )
+        except Exception as err:  # noqa: BLE001 - a replay must not kill restart
+            telemetry.metrics.counter("njs.replay_failures").inc()
+            telemetry.metrics.counter("njs.journal_replays").inc()
+            if entry.trace_id:
+                telemetry.tracer.end_span(
+                    telemetry.tracer.start_span(
+                        "njs.replay", entry.trace_id, tier="server",
+                        job_id=entry.job_id, usite=self.usite_name,
+                    ),
+                    error=err,
+                )
+            return
+        run.recovered = True
+        self.replays += 1
+        telemetry.metrics.counter("njs.journal_replays").inc()
+        if run.trace_id:
+            # A visible recovery marker in the per-job trace.
+            telemetry.tracer.end_span(
+                telemetry.tracer.start_span(
+                    "njs.replay", run.trace_id, tier="server",
+                    job_id=run.job_id, usite=self.usite_name,
+                )
+            )
+        if entry.forward_meta is not None:
+            # A forwarded group must still report to its parent site.
+            corr_id, reply_usite, return_files = entry.forward_meta
+            self._early_files.setdefault(run.job_id, {}).update(
+                entry.workstation_files
+            )
+            run.group_expected[run.root.id] = tuple(return_files)
+            run.processes.append(
+                self.sim.process(
+                    self._finish_forward(run, corr_id, reply_usite, return_files),
+                    name=f"replay-forward:{run.job_id}",
+                )
+            )
+
     # ---------------------------------------------------------------- services
     def get_run(self, job_id: str) -> JobRun:
+        if self.crashed:
+            raise ServiceUnavailable(
+                f"NJS at {self.usite_name} is down"
+            )
         try:
             return self._runs[job_id]
         except KeyError:
@@ -1003,51 +1234,53 @@ class NetworkJobSupervisor:
                 f"{self.usite_name}: unknown UNICORE job {job_id!r}"
             ) from None
 
-    def list_jobs(self, user_dn: str) -> list[dict]:
+    def list_jobs(self, user_dn: str) -> list[JobListing]:
         """The ListService answer: the user's jobs at this NJS."""
+        if self.crashed:
+            raise ServiceUnavailable(f"NJS at {self.usite_name} is down")
         return [
-            {
-                "job_id": run.job_id,
-                "name": run.root.name,
-                "status": run.status().value,
-                "submitted_at": run.submitted_at,
-            }
+            JobListing(
+                job_id=run.job_id,
+                name=run.root.name,
+                status=run.status().value,
+                submitted_at=run.submitted_at,
+                recovered=run.recovered,
+            )
             for run in self._runs.values()
             if run.user_dn == user_dn
         ]
 
-    def query_status(self, job_id: str, detail: str = "tasks") -> dict:
+    def query_status(self, job_id: str, detail: str = "tasks") -> JobStatusView:
         """The QueryService answer: the status tree at the chosen detail."""
         run = self.get_run(job_id)
 
-        def render(group: AbstractJobObject) -> dict:
-            node = {
-                "id": group.id,
-                "name": group.name,
-                "status": typing.cast(
-                    AJOOutcome, run.outcomes[group.id]
-                ).rollup_status().value,
-                "color": typing.cast(
-                    AJOOutcome, run.outcomes[group.id]
-                ).rollup_status().display_color,
-            }
+        def render(group: AbstractJobObject) -> JobStatusView:
+            rollup = typing.cast(
+                AJOOutcome, run.outcomes[group.id]
+            ).rollup_status()
+            children: list[JobStatusView] = []
             if detail in ("groups", "tasks"):
-                children = []
                 for child in group.children:
                     if isinstance(child, AbstractJobObject):
                         children.append(render(child))
                     elif detail == "tasks":
                         outcome = run.outcomes[child.id]
                         children.append(
-                            {
-                                "id": child.id,
-                                "name": child.name,
-                                "status": outcome.status.value,
-                                "color": outcome.status.display_color,
-                            }
+                            JobStatusView(
+                                id=child.id,
+                                name=child.name,
+                                status=outcome.status.value,
+                                color=outcome.status.display_color,
+                            )
                         )
-                node["children"] = children
-            return node
+            return JobStatusView(
+                id=group.id,
+                name=group.name,
+                status=rollup.value,
+                color=rollup.display_color,
+                children=tuple(children),
+                as_of=self.sim.now,
+            )
 
         return render(run.root)
 
@@ -1091,6 +1324,7 @@ class NetworkJobSupervisor:
                 if vsite is not None and uspace.job_id in vsite.uspaces.active_jobs:
                     vsite.uspaces.destroy(uspace.job_id)
         del self._runs[job_id]
+        self.journal.forget(job_id)
         for parent_id, foreign in list(self._foreign_runs.items()):
             if foreign is run:
                 del self._foreign_runs[parent_id]

@@ -1,5 +1,7 @@
 """Exceptions for the virtual filesystem."""
 
+from repro.errors import ReproError
+
 __all__ = [
     "VFSError",
     "FileNotFoundVFSError",
@@ -8,17 +10,25 @@ __all__ = [
 ]
 
 
-class VFSError(Exception):
+class VFSError(ReproError):
     """Base class for virtual-filesystem errors."""
+
+    code = "vfs.error"
 
 
 class FileNotFoundVFSError(VFSError):
     """The path does not exist."""
 
+    code = "vfs.not_found"
+
 
 class FileExistsVFSError(VFSError):
     """The path already exists and overwrite was not requested."""
 
+    code = "vfs.exists"
+
 
 class QuotaExceededError(VFSError):
     """Writing would exceed the filesystem quota."""
+
+    code = "vfs.quota"

@@ -126,6 +126,23 @@ def test_topological_order_deterministic_insertion_ties():
     assert topological_order(job) == [t.id for t in ts]
 
 
+def test_topological_order_tolerates_duplicate_edges():
+    """A repeated edge must not release its successor early.
+
+    With a -> c declared twice (once per file set, say) plus a -> b -> c,
+    a naive successor list decrements c twice when a completes and emits
+    c before b — the regression hypothesis found.
+    """
+    job = AbstractJobObject("dup", vsite="V", user_dn="CN=u")
+    a, b, c = (job.add(make_task(n)) for n in "abc")
+    job.add_dependency(a, c, files=["first.out"])
+    job.add_dependency(a, c, files=["second.out"])
+    job.add_dependency(a, b)
+    job.add_dependency(b, c)
+    order = topological_order(job)
+    assert order.index(a.id) < order.index(b.id) < order.index(c.id)
+
+
 def test_cycle_detected():
     job = AbstractJobObject("j", vsite="V")
     a, b = job.add(make_task("a")), job.add(make_task("b"))

@@ -1,0 +1,146 @@
+"""Unit tests for the fault-injection subsystem: plans and the breaker."""
+
+import pytest
+
+from repro.faults import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultKind,
+    FaultPlan,
+    FaultTargets,
+)
+from repro.simkernel import Simulator
+
+TARGETS = FaultTargets(
+    wan_links=("gw.a|gw.b", "gw.a|gw.c", "gw.b|gw.c"),
+    usites=("A", "B", "C"),
+    vsites=("A/A-T3E", "B/B-SP2", "C/C-VPP"),
+)
+
+
+# -- FaultPlan ---------------------------------------------------------------
+def test_same_seed_same_schedule():
+    p1 = FaultPlan.generate(TARGETS, intensity=1.0, seed=5, horizon_s=7200.0)
+    p2 = FaultPlan.generate(TARGETS, intensity=1.0, seed=5, horizon_s=7200.0)
+    assert len(p1) > 0
+    assert p1.events == p2.events
+
+
+def test_different_seed_different_schedule():
+    p1 = FaultPlan.generate(TARGETS, intensity=1.0, seed=5, horizon_s=7200.0)
+    p2 = FaultPlan.generate(TARGETS, intensity=1.0, seed=6, horizon_s=7200.0)
+    assert p1.events != p2.events
+
+
+def test_zero_intensity_is_empty():
+    plan = FaultPlan.generate(TARGETS, intensity=0.0, seed=5)
+    assert len(plan) == 0
+
+
+def test_negative_intensity_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan.generate(TARGETS, intensity=-0.5, seed=5)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan.generate(TARGETS, seed=5, kinds=["meteor_strike"])
+
+
+def test_kinds_filter_restricts_schedule():
+    plan = FaultPlan.generate(
+        TARGETS, intensity=2.0, seed=5, horizon_s=7200.0,
+        kinds=[FaultKind.NJS_CRASH],
+    )
+    assert len(plan) > 0
+    assert all(ev.kind == FaultKind.NJS_CRASH for ev in plan)
+    # Crash targets are Usites.
+    assert all(ev.target in TARGETS.usites for ev in plan)
+
+
+def test_adding_a_target_preserves_existing_streams():
+    """Per-(kind, target) RNG streams: growing the grid is non-perturbing."""
+    grown = FaultTargets(
+        wan_links=TARGETS.wan_links + ("gw.a|gw.d",),
+        usites=TARGETS.usites + ("D",),
+        vsites=TARGETS.vsites + ("D/D-SX4",),
+    )
+    base = FaultPlan.generate(TARGETS, intensity=1.0, seed=5, horizon_s=7200.0)
+    more = FaultPlan.generate(grown, intensity=1.0, seed=5, horizon_s=7200.0)
+    old_targets = set(TARGETS.wan_links) | set(TARGETS.usites) | set(TARGETS.vsites)
+    kept = tuple(ev for ev in more if ev.target in old_targets)
+    assert kept == base.events
+
+
+def test_events_sorted_and_recover_inside_horizon():
+    plan = FaultPlan.generate(TARGETS, intensity=2.0, seed=9, horizon_s=3600.0)
+    times = [ev.at_s for ev in plan]
+    assert times == sorted(times)
+    for ev in plan:
+        assert 0.0 < ev.at_s < plan.horizon_s
+        assert ev.ends_at_s < plan.horizon_s
+
+
+# -- CircuitBreaker ----------------------------------------------------------
+def test_breaker_opens_after_threshold():
+    sim = Simulator()
+    br = CircuitBreaker(sim, failure_threshold=3, cooldown_s=60.0)
+    assert br.state == CLOSED
+    br.record_failure()
+    br.record_failure()
+    assert br.state == CLOSED
+    br.check()  # still closed: no exception
+    br.record_failure()
+    assert br.state == OPEN
+    with pytest.raises(CircuitOpenError):
+        br.check()
+    assert br.rejections == 1
+
+
+def test_success_resets_consecutive_failures():
+    sim = Simulator()
+    br = CircuitBreaker(sim, failure_threshold=2)
+    br.record_failure()
+    br.record_success()
+    br.record_failure()
+    assert br.state == CLOSED
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    sim = Simulator()
+    br = CircuitBreaker(sim, failure_threshold=1, cooldown_s=60.0)
+    br.record_failure()
+    assert br.state == OPEN
+    sim.run(until=61.0)
+    br.check()  # cooldown elapsed: probe allowed
+    assert br.state == HALF_OPEN
+    br.record_success()
+    assert br.state == CLOSED
+    assert [s for _, s in br.transitions] == [OPEN, HALF_OPEN, CLOSED]
+
+
+def test_breaker_half_open_probe_reopens_on_failure():
+    sim = Simulator()
+    br = CircuitBreaker(sim, failure_threshold=1, cooldown_s=60.0)
+    br.record_failure()
+    sim.run(until=61.0)
+    br.check()
+    assert br.state == HALF_OPEN
+    br.record_failure()
+    assert br.state == OPEN
+    with pytest.raises(CircuitOpenError):
+        br.check()
+
+
+def test_breaker_transition_timestamps_use_sim_time():
+    sim = Simulator()
+    br = CircuitBreaker(sim, failure_threshold=1, cooldown_s=10.0)
+    sim.run(until=5.0)
+    br.record_failure()
+    assert br.transitions == [(5.0, OPEN)]
+    sim.run(until=20.0)
+    br.check()
+    assert br.transitions[-1] == (20.0, HALF_OPEN)
