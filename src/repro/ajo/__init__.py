@@ -39,6 +39,7 @@ from repro.ajo.errors import (
     AJOError,
     DependencyCycleError,
     SerializationError,
+    UnsafePathError,
     ValidationError,
 )
 from repro.ajo.status import ActionStatus
@@ -106,6 +107,7 @@ __all__ = [
     "Outcome",
     "QueryService",
     "SerializationError",
+    "UnsafePathError",
     "ServiceOutcome",
     "TaskOutcome",
     "TransferTask",

@@ -7,6 +7,7 @@ __all__ = [
     "ValidationError",
     "DependencyCycleError",
     "SerializationError",
+    "UnsafePathError",
 ]
 
 
@@ -32,3 +33,11 @@ class SerializationError(AJOError):
     """The AJO/Outcome wire encoding is malformed or unsupported."""
 
     code = "ajo.serialization"
+
+
+class UnsafePathError(SerializationError):
+    """A file manifest names a path no Uspace may be asked to write:
+    traversal segments, duplicates, control characters, or (for
+    Uspace-destined entries) absolute paths."""
+
+    code = "ajo.unsafe_path"

@@ -9,6 +9,7 @@ from repro.net.https import HttpsChannel, establish_https
 from repro.net.transport import Network
 from repro.observability import telemetry_for
 from repro.protocol.client import AsyncProtocolClient, ReplyRouter
+from repro.protocol.datapath import DataPlaneEndpoint, StreamIdAllocator
 from repro.protocol.retry import RetryPolicy
 from repro.resources.page import ResourcePage
 from repro.security.applet import SignedApplet, verify_applet
@@ -39,6 +40,10 @@ class UnicoreSession:
     applets: dict[str, SignedApplet] = field(default_factory=dict)
     #: Trace of the connect sequence (handshake, applet load, pages).
     trace_id: str = ""
+    #: The client's data-plane endpoint (streamed replies land here) and
+    #: its stream-id allocator for uploads.
+    datapath: DataPlaneEndpoint | None = None
+    stream_ids: StreamIdAllocator | None = None
 
 
 class Browser:
@@ -71,6 +76,12 @@ class Browser:
         self.retry = retry or RetryPolicy()
         self.poll_interval_s = poll_interval_s
         self._router: ReplyRouter | None = None
+        #: Data plane: one endpoint and one stream-id space per browser,
+        #: shared across sessions (failover reconnects reuse them).
+        self.datapath = DataPlaneEndpoint(
+            sim, metrics=telemetry_for(sim).metrics
+        )
+        self.stream_ids = StreamIdAllocator(f"client:{host_name}")
 
     @property
     def user_dn(self) -> str:
@@ -150,7 +161,11 @@ class Browser:
         tracer.end_span(pages_span.set(vsites=len(pages), bytes=total))
 
         if self._router is None:
-            self._router = ReplyRouter(self.sim, self.host)
+            # Non-Reply payloads on this host are data-plane frames the
+            # gateway pushed (streamed FETCH_FILE / outcome content).
+            self._router = ReplyRouter(
+                self.sim, self.host, fallback=self.datapath.feed
+            )
         client = AsyncProtocolClient(
             self.sim, channel, self._router,
             retry=self.retry, poll_interval_s=self.poll_interval_s,
@@ -163,4 +178,6 @@ class Browser:
             resource_pages=pages,
             applets=applets,
             trace_id=session_trace,
+            datapath=self.datapath,
+            stream_ids=self.stream_ids,
         )

@@ -18,6 +18,7 @@ from repro.ajo.services import ControlService, ControlVerb, ListService, QuerySe
 from repro.client.browser import UnicoreSession
 from repro.faults.errors import CircuitOpenError
 from repro.observability import telemetry_for
+from repro.protocol.datapath import fetch_bulk_payload
 from repro.protocol.messages import Request, RequestKind
 from repro.protocol.retry import RetryExhausted
 from repro.protocol.views import JobStatusView
@@ -118,6 +119,12 @@ class JobMonitorController:
                     parent_span_id=outcome_span.span_id if outcome_span else "",
                 )
             )
+            if reply.ok:
+                # Large outcomes travel on the data plane: the gateway
+                # pushed the stream ahead of this slim reply.
+                payload = yield from fetch_bulk_payload(
+                    getattr(self.session, "datapath", None), reply.payload
+                )
         except BaseException as err:
             if outcome_span is not None:
                 tracer.end_span(outcome_span, error=err)
@@ -127,8 +134,8 @@ class JobMonitorController:
                 tracer.end_span(outcome_span, error=reply.error)
             raise RuntimeError(f"outcome retrieval failed: {reply.error}")
         if outcome_span is not None:
-            tracer.end_span(outcome_span.set(outcome_bytes=len(reply.payload)))
-        return decode_outcome(reply.payload)
+            tracer.end_span(outcome_span.set(outcome_bytes=len(payload)))
+        return decode_outcome(payload)
 
     # -- control -----------------------------------------------------------------
     def control(self, job_id: str, verb: str):
@@ -171,9 +178,12 @@ class JobMonitorController:
         )
         if not reply.ok:
             raise RuntimeError(f"fetch failed: {reply.error}")
+        content = yield from fetch_bulk_payload(
+            getattr(self.session, "datapath", None), reply.payload
+        )
         if workstation is not None:
-            workstation.fs.write(save_as or f"/downloads/{path}", reply.payload)
-        return reply.payload
+            workstation.fs.write(save_as or f"/downloads/{path}", content)
+        return content
 
     def dispose(self, job_id: str):
         """Release a finished job's Uspaces on the server."""

@@ -282,12 +282,22 @@ class JobPreparationAgent:
                     "job imports workstation files but no workstation given"
                 )
             files = ws.stage_for_ajo(needed)
-        from repro.protocol.consignment import encode_consignment
+        from repro.protocol.consignment import encode_consignment, file_entry_for
+        from repro.protocol.datapath import INLINE_FILE_MAX, stream_over_channel
+
+        # Control/data-plane split (section 5.6): small files ride inside
+        # the consignment envelope; large ones stream ahead of it in
+        # chunked frames and appear in the envelope only as a manifest.
+        stream_ids = getattr(self.session, "stream_ids", None)
+        inline: dict[str, bytes] = {}
+        large: list[tuple[str, bytes]] = []
+        for path, content in files.items():
+            if stream_ids is None or len(content) <= INLINE_FILE_MAX:
+                inline[path] = content
+            else:
+                large.append((path, content))
 
         telemetry = telemetry_for(self.session.client.sim)
-        payload = encode_consignment(
-            encode_ajo(builder.ajo), files, metrics=telemetry.metrics
-        )
         # Root of the per-job trace: everything downstream (gateway auth,
         # NJS incarnation, batch execution) hangs off this span.
         tracer = telemetry.tracer
@@ -298,9 +308,27 @@ class JobPreparationAgent:
             tier="user",
             job=builder.ajo.name,
             vsite=builder.ajo.vsite,
-            payload_bytes=len(payload),
         )
         try:
+            entries = []
+            for path, content in large:
+                stream_id = stream_ids.next()
+                yield from stream_over_channel(
+                    self.session.client.sim, self.session.channel, content,
+                    {"kind": "consign-file", "path": path},
+                    stream_id=stream_id, metrics=telemetry.metrics,
+                    tracer=tracer, trace_id=trace_id,
+                    parent_span=submit_span,
+                )
+                entries.append(file_entry_for(path, content, stream_id))
+            payload = encode_consignment(
+                encode_ajo(builder.ajo), inline, metrics=telemetry.metrics,
+                streamed=entries,
+            )
+            submit_span.set(
+                payload_bytes=len(payload),
+                streamed_bytes=sum(len(c) for _, c in large),
+            )
             reply = yield from self.session.client.consign(
                 payload,
                 user_dn=self.session.user_dn,

@@ -28,7 +28,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     # net
-    "NetworkError", "HostUnreachable", "ConnectionLost",
+    "NetworkError", "HostUnreachable", "ConnectionLost", "FrameError",
     # server
     "ServerError", "ConsignError", "IncarnationError", "UnknownUnicoreJobError",
     # batch
@@ -44,6 +44,7 @@ __all__ = [
     "TamperedBundleError", "AuthenticationError", "MappingError",
     # ajo
     "AJOError", "ValidationError", "DependencyCycleError", "SerializationError",
+    "UnsafePathError",
     # protocol
     "RetryExhausted",
     # faults / resilience
@@ -66,6 +67,7 @@ _HOMES = {
     "NetworkError": "repro.net.errors",
     "HostUnreachable": "repro.net.errors",
     "ConnectionLost": "repro.net.errors",
+    "FrameError": "repro.net.errors",
     "ServerError": "repro.server.errors",
     "ConsignError": "repro.server.errors",
     "IncarnationError": "repro.server.errors",
@@ -95,6 +97,7 @@ _HOMES = {
     "ValidationError": "repro.ajo.errors",
     "DependencyCycleError": "repro.ajo.errors",
     "SerializationError": "repro.ajo.errors",
+    "UnsafePathError": "repro.ajo.errors",
     "RetryExhausted": "repro.protocol.retry",
     "FaultError": "repro.faults.errors",
     "CircuitOpenError": "repro.faults.errors",

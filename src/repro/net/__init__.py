@@ -10,19 +10,34 @@ models that fabric on the simulation kernel:
   certificate handshake round-trips plus per-record framing overhead
   (what makes bulk NJS-to-NJS transfer slow, experiment E5), and a
   direct-socket channel as the faster alternative the paper says
-  "UNICORE is working on".
+  "UNICORE is working on";
+- :mod:`repro.net.stream` — the streaming data plane: binary frames
+  that carry file bytes raw and chunked, so bulk transfers interleave
+  with control messages and resume after a lost chunk.
 
 All randomness (loss) derives from a named RNG stream, so runs are
 deterministic.
 """
 
-from repro.net.errors import ConnectionLost, HostUnreachable, NetworkError
+from repro.net.errors import ConnectionLost, FrameError, HostUnreachable, NetworkError
 from repro.net.transport import Host, Link, Message, Network
 from repro.net.https import DirectChannel, HttpsChannel, establish_https
+from repro.net.stream import (
+    Frame,
+    FrameType,
+    OpenInfo,
+    StreamReassembler,
+    StreamSender,
+    decode_frame,
+    encode_frame,
+)
 
 __all__ = [
     "ConnectionLost",
     "DirectChannel",
+    "Frame",
+    "FrameError",
+    "FrameType",
     "Host",
     "HostUnreachable",
     "HttpsChannel",
@@ -30,5 +45,10 @@ __all__ = [
     "Message",
     "Network",
     "NetworkError",
+    "OpenInfo",
+    "StreamReassembler",
+    "StreamSender",
+    "decode_frame",
+    "encode_frame",
     "establish_https",
 ]

@@ -2,7 +2,7 @@
 
 from repro.errors import ReproError
 
-__all__ = ["NetworkError", "HostUnreachable", "ConnectionLost"]
+__all__ = ["NetworkError", "HostUnreachable", "ConnectionLost", "FrameError"]
 
 
 class NetworkError(ReproError):
@@ -21,3 +21,9 @@ class ConnectionLost(NetworkError):
     """A message was lost in transit (the sender times out waiting)."""
 
     code = "net.connection_lost"
+
+
+class FrameError(NetworkError):
+    """A data-plane frame is malformed, unsupported, or inconsistent."""
+
+    code = "net.frame"

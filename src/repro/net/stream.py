@@ -1,0 +1,311 @@
+"""The streaming data plane: binary frames for bulk transfers.
+
+The paper tunnels every byte — control messages *and* file contents —
+through the same https request/reply path (section 5.6), which it flags
+as "slow for huge data sets".  This module is the wire half of the fix:
+a small binary frame codec that carries file bytes raw (no base64), in
+chunks, so bulk data interleaves with control messages on the FIFO
+links instead of head-of-line-blocking them, and a lost chunk costs one
+retransmission instead of the whole payload.
+
+Frame layout (network byte order, 24-byte header)::
+
+    0      2      3      4            12      16      20      24
+    +------+------+------+------------+-------+-------+-------+----
+    | "US" | ver  | type | stream_id  | seq   | len   | crc32 | payload
+    +------+------+------+------------+-------+-------+-------+----
+      2 B    u8     u8       u64         u32     u32     u32
+
+``type`` is OPEN (1), DATA (2), or ACK (3).  An OPEN frame's payload is
+the :class:`OpenInfo` preamble — total size, chunking, whole-payload
+checksum, and a JSON context blob naming what the stream *is* (its kind,
+job ids, destination path).  DATA frames carry raw chunk bytes; ``seq``
+is the chunk index.  ACK frames are available to protocols that need
+explicit cumulative acknowledgement (``seq`` = next expected chunk);
+the simulated transport's per-message delivery events already provide
+the implicit per-chunk acknowledgement the senders in this repo use.
+
+Version is negotiated trivially: a decoder raises :class:`FrameError`
+on any version it does not speak, and the control-plane error path
+reports that to the sender (see DESIGN.md, "Wire formats").
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import typing
+import zlib
+from dataclasses import dataclass, field
+
+from repro.net.errors import FrameError
+
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "FRAME_VERSION",
+    "Frame",
+    "FrameType",
+    "OpenInfo",
+    "StreamReassembler",
+    "StreamSender",
+    "chunk_payload",
+    "decode_frame",
+    "encode_frame",
+]
+
+#: Frame magic: every frame starts with these two bytes.
+FRAME_MAGIC = b"US"
+
+#: The one frame-format version this codec speaks.
+FRAME_VERSION = 1
+
+_HEADER = struct.Struct("!2sBBQIII")
+
+#: Bytes of framing added to every chunk on the wire.
+FRAME_HEADER_BYTES = _HEADER.size  # 24
+
+_OPEN_FIXED = struct.Struct("!QIIII")  # total, chunk, count, crc, ctx_len
+
+_U32_MAX = 0xFFFFFFFF
+_U64_MAX = 0xFFFFFFFFFFFFFFFF
+
+
+class FrameType:
+    """Frame type tags."""
+
+    OPEN = 1
+    DATA = 2
+    ACK = 3
+
+    ALL = (OPEN, DATA, ACK)
+
+
+@dataclass(slots=True, frozen=True)
+class Frame:
+    """One decoded frame: header fields plus raw payload bytes."""
+
+    stream_id: int
+    seq: int
+    payload: bytes = b""
+    ftype: int = FrameType.DATA
+    version: int = FRAME_VERSION
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame: 24-byte header + raw payload."""
+    if frame.ftype not in FrameType.ALL:
+        raise FrameError(f"unknown frame type {frame.ftype!r}")
+    if not 0 <= frame.stream_id <= _U64_MAX:
+        raise FrameError(f"stream id {frame.stream_id} out of u64 range")
+    if not 0 <= frame.seq <= _U32_MAX:
+        raise FrameError(f"sequence number {frame.seq} out of u32 range")
+    if len(frame.payload) > _U32_MAX:
+        raise FrameError("frame payload exceeds u32 length")
+    header = _HEADER.pack(
+        FRAME_MAGIC,
+        frame.version,
+        frame.ftype,
+        frame.stream_id,
+        frame.seq,
+        len(frame.payload),
+        zlib.crc32(frame.payload),
+    )
+    return header + frame.payload
+
+
+def decode_frame(raw: bytes) -> Frame:
+    """Parse a frame; raises :class:`FrameError` on any malformation."""
+    if len(raw) < FRAME_HEADER_BYTES:
+        raise FrameError(
+            f"truncated frame: {len(raw)} bytes < {FRAME_HEADER_BYTES}-byte header"
+        )
+    magic, version, ftype, stream_id, seq, length, crc = _HEADER.unpack_from(raw)
+    if magic != FRAME_MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise FrameError(
+            f"unsupported frame version {version} (this codec speaks "
+            f"{FRAME_VERSION})"
+        )
+    if ftype not in FrameType.ALL:
+        raise FrameError(f"unknown frame type {ftype}")
+    payload = raw[FRAME_HEADER_BYTES:]
+    if len(payload) != length:
+        raise FrameError(
+            f"frame length mismatch: header says {length}, got {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise FrameError(f"frame checksum mismatch on stream {stream_id} seq {seq}")
+    return Frame(
+        stream_id=stream_id, seq=seq, payload=payload, ftype=ftype,
+        version=version,
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class OpenInfo:
+    """The OPEN frame's preamble: what the stream carries and how."""
+
+    total_size: int
+    chunk_bytes: int
+    chunk_count: int
+    total_crc32: int
+    #: Application context: stream kind, job/correlation ids, paths.
+    context: dict = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        blob = json.dumps(
+            self.context, sort_keys=True, separators=(",", ":")
+        ).encode()
+        return _OPEN_FIXED.pack(
+            self.total_size, self.chunk_bytes, self.chunk_count,
+            self.total_crc32, len(blob),
+        ) + blob
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "OpenInfo":
+        if len(raw) < _OPEN_FIXED.size:
+            raise FrameError("truncated OPEN preamble")
+        total, chunk, count, crc, ctx_len = _OPEN_FIXED.unpack_from(raw)
+        blob = raw[_OPEN_FIXED.size:]
+        if len(blob) != ctx_len:
+            raise FrameError("OPEN context length mismatch")
+        try:
+            context = json.loads(blob) if blob else {}
+        except ValueError as err:
+            raise FrameError(f"OPEN context is not valid JSON: {err}") from err
+        if not isinstance(context, dict):
+            raise FrameError("OPEN context must be a JSON object")
+        return cls(
+            total_size=total, chunk_bytes=chunk, chunk_count=count,
+            total_crc32=crc, context=context,
+        )
+
+
+def chunk_payload(data: bytes, chunk_bytes: int) -> list[bytes]:
+    """Split ``data`` into chunks of at most ``chunk_bytes``."""
+    if chunk_bytes <= 0:
+        raise FrameError(f"chunk size must be positive, got {chunk_bytes}")
+    return [data[i:i + chunk_bytes] for i in range(0, len(data), chunk_bytes)]
+
+
+class StreamSender:
+    """Frames one payload as an OPEN preamble plus DATA chunks.
+
+    The sender is transport-agnostic: iterate :meth:`frames` and push
+    each through whatever carries bytes (an https channel, an NJS-NJS
+    route).  Retransmitting a frame is just re-sending the same
+    :class:`Frame` — frames are self-describing and receivers tolerate
+    duplicates, which is what makes resume-from-last-acked-chunk
+    trivial for the callers.
+    """
+
+    def __init__(
+        self, stream_id: int, data: bytes, chunk_bytes: int,
+        context: dict | None = None,
+    ) -> None:
+        self.stream_id = stream_id
+        self.data = data
+        self.chunks = chunk_payload(data, chunk_bytes)
+        self.open_info = OpenInfo(
+            total_size=len(data),
+            chunk_bytes=chunk_bytes,
+            chunk_count=len(self.chunks),
+            total_crc32=zlib.crc32(data),
+            context=dict(context or {}),
+        )
+
+    @property
+    def frame_count(self) -> int:
+        return 1 + len(self.chunks)
+
+    def open_frame(self) -> Frame:
+        return Frame(
+            stream_id=self.stream_id, seq=0,
+            payload=self.open_info.encode(), ftype=FrameType.OPEN,
+        )
+
+    def data_frame(self, seq: int) -> Frame:
+        return Frame(
+            stream_id=self.stream_id, seq=seq, payload=self.chunks[seq],
+            ftype=FrameType.DATA,
+        )
+
+    def frames(self) -> typing.Iterator[Frame]:
+        """OPEN first, then every DATA chunk in order."""
+        yield self.open_frame()
+        for seq in range(len(self.chunks)):
+            yield self.data_frame(seq)
+
+
+class StreamReassembler:
+    """Rebuilds one stream's payload from frames, in any order.
+
+    Duplicate and out-of-order DATA frames are tolerated (retransmission
+    makes both routine); :attr:`next_expected` is the cumulative-ack
+    point a resuming sender continues from.
+    """
+
+    def __init__(self, open_frame: Frame) -> None:
+        if open_frame.ftype != FrameType.OPEN:
+            raise FrameError("reassembler must be seeded with an OPEN frame")
+        self.stream_id = open_frame.stream_id
+        self.info = OpenInfo.decode(open_frame.payload)
+        self._chunks: dict[int, bytes] = {}
+
+    @property
+    def context(self) -> dict:
+        return self.info.context
+
+    @property
+    def received_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def complete(self) -> bool:
+        return len(self._chunks) == self.info.chunk_count
+
+    @property
+    def next_expected(self) -> int:
+        """Lowest missing chunk index (== chunk_count when complete)."""
+        seq = 0
+        while seq in self._chunks:
+            seq += 1
+        return seq
+
+    def feed(self, frame: Frame) -> bool:
+        """Absorb one frame; returns True once the stream is complete."""
+        if frame.stream_id != self.stream_id:
+            raise FrameError(
+                f"frame for stream {frame.stream_id} fed to reassembler "
+                f"of stream {self.stream_id}"
+            )
+        if frame.ftype == FrameType.DATA:
+            if frame.seq >= self.info.chunk_count:
+                raise FrameError(
+                    f"chunk {frame.seq} out of range for stream "
+                    f"{self.stream_id} ({self.info.chunk_count} chunks)"
+                )
+            self._chunks.setdefault(frame.seq, frame.payload)
+        # OPEN duplicates and ACKs carry no new data.
+        return self.complete
+
+    def payload(self) -> bytes:
+        """The reassembled bytes; verifies the whole-payload checksum."""
+        if not self.complete:
+            missing = self.next_expected
+            raise FrameError(
+                f"stream {self.stream_id} incomplete: chunk {missing} of "
+                f"{self.info.chunk_count} missing"
+            )
+        data = b"".join(self._chunks[i] for i in range(self.info.chunk_count))
+        if len(data) != self.info.total_size:
+            raise FrameError(
+                f"stream {self.stream_id} size mismatch: OPEN said "
+                f"{self.info.total_size}, reassembled {len(data)}"
+            )
+        if zlib.crc32(data) != self.info.total_crc32:
+            raise FrameError(
+                f"stream {self.stream_id} payload checksum mismatch"
+            )
+        return data

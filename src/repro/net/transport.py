@@ -25,8 +25,6 @@ __all__ = ["Message", "Host", "Link", "Network"]
 #: How long a sender waits before concluding a message was lost.
 DEFAULT_TIMEOUT = 30.0
 
-_msg_ids = count(1)
-
 
 @dataclass(slots=True)
 class Message:
@@ -36,7 +34,10 @@ class Message:
     recipient: str
     payload: object
     size_bytes: int
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: Assigned by the owning :class:`Network` so ids (and the
+    #: ``delivery:{msg_id}`` event names) are deterministic per network,
+    #: independent of what else ran earlier in the process.
+    msg_id: int = 0
     #: Free-form channel label ("https", "raw") for instrumentation.
     channel: str = "raw"
 
@@ -144,6 +145,7 @@ class Network:
         self.seed = seed
         self._hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], Link] = {}
+        self._msg_seq = count(1)
 
     # -- topology -------------------------------------------------------------
     def add_host(self, name: str) -> Host:
@@ -211,7 +213,8 @@ class Network:
         link = self.get_link(src, dst)
         message = Message(
             sender=src, recipient=dst, payload=payload,
-            size_bytes=size_bytes, channel=channel,
+            size_bytes=size_bytes, msg_id=next(self._msg_seq),
+            channel=channel,
         )
         sink = destination._deliver if deliver else (lambda _message: None)
         return link.schedule(message, sink)

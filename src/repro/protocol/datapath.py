@@ -1,0 +1,329 @@
+"""The data plane of the high-level protocol.
+
+The control plane (small :class:`~repro.protocol.messages.Request` /
+``Reply`` envelopes) keeps the paper's semantics untouched; bulk bytes
+— consignment uploads, NJS staging, Uspace-to-Uspace transfers, outcome
+and export fetches — travel here instead, as the chunked binary frames
+of :mod:`repro.net.stream`.  Chunks share the FIFO links one frame at a
+time, so a control message queued behind a bulk transfer waits for at
+most one chunk's serialization instead of the whole payload; a dropped
+chunk is retransmitted alone (``stream.resumes``) instead of restarting
+the transfer from byte zero.
+
+Pieces:
+
+* :class:`StreamIdAllocator` — deterministic 64-bit stream ids, unique
+  across senders (origin hash in the high bits, a counter below);
+* :class:`DataPlaneEndpoint` — the receiving side: feed raw frame
+  bytes off a host inbox, reassemble streams, hand completed payloads
+  to an application callback or park them for :meth:`~DataPlaneEndpoint.take`
+  / :meth:`~DataPlaneEndpoint.wait`;
+* :func:`stream_over_channel` — the sending side for client↔gateway
+  channels: one ``channel.send`` per frame, per-chunk retransmission;
+* the bulk-reply wrapper (:func:`encode_inline_reply` /
+  :func:`encode_stream_reply` / :func:`fetch_bulk_payload`) the gateway
+  and JMC use for FETCH_FILE / RETRIEVE_OUTCOME replies whose content
+  travels on the data plane.
+
+Everything is deterministic: stream ids derive from the sender's name,
+retries from the simulated network's named RNG streams.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+import zlib
+from itertools import count
+
+from repro.net.errors import ConnectionLost, FrameError
+from repro.net.stream import (
+    Frame,
+    FrameType,
+    StreamReassembler,
+    StreamSender,
+    decode_frame,
+    encode_frame,
+)
+from repro.protocol.consignment import FileEntry
+from repro.simkernel import Simulator
+
+__all__ = [
+    "CHUNK_RETRIES",
+    "CHUNK_RETRY_DELAY_S",
+    "DEFAULT_CHUNK_BYTES",
+    "INLINE_FILE_MAX",
+    "DataPlaneEndpoint",
+    "StreamIdAllocator",
+    "decode_bulk_reply",
+    "encode_inline_reply",
+    "encode_stream_reply",
+    "fetch_bulk_payload",
+    "stream_over_channel",
+]
+
+#: Default chunk size.  Small enough that a control message sharing the
+#: link is delayed by at most ~one chunk's serialization (256 KiB at
+#: 10 Mbit/s is ~0.2 s), large enough that the 24-byte frame header and
+#: per-record SSL overhead stay well under the 5% overhead budget.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+#: Files at or below this size stay inline in control-plane envelopes;
+#: only larger payloads are worth a stream's OPEN/manifest round trip.
+INLINE_FILE_MAX = 64 * 1024
+
+#: Bounded per-chunk retransmission (the same asynchronous-protocol
+#: philosophy as the control plane's request retries).
+CHUNK_RETRIES = 6
+CHUNK_RETRY_DELAY_S = 5.0
+
+#: How long a receiver waits for a streamed reply's frames before
+#: concluding the stream died with its sender.
+STREAM_WAIT_TIMEOUT_S = 600.0
+
+
+class StreamIdAllocator:
+    """Deterministic 64-bit stream ids, collision-free across senders.
+
+    The high 32 bits hash the sender's origin name; the low 32 bits
+    count up.  Two endpoints fed by the same inbox can therefore key
+    streams by id alone.
+    """
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        self._base = zlib.crc32(origin.encode()) << 32
+        self._seq = count(1)
+
+    def next(self) -> int:
+        return self._base | (next(self._seq) & 0xFFFFFFFF)
+
+
+class DataPlaneEndpoint:
+    """The receiving half of the data plane on one host.
+
+    ``on_complete(context, data) -> bool`` is consulted when a stream
+    finishes; returning True means the application consumed the payload
+    (the NJS writing a Uspace file).  Otherwise the payload parks until
+    :meth:`take` or :meth:`wait` claims it (the gateway pulling consign
+    uploads, the JMC awaiting a fetched file).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        metrics=None,
+        on_complete: typing.Callable[[dict, bytes], bool] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.on_complete = on_complete
+        self._open: dict[int, StreamReassembler] = {}
+        self._done: dict[int, tuple[dict, bytes]] = {}
+        self._waiters: dict[int, object] = {}
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    # -- intake --------------------------------------------------------------
+    def feed(self, raw: bytes | Frame) -> bool:
+        """Absorb one inbound frame; returns False for non-frame bytes."""
+        try:
+            frame = raw if isinstance(raw, Frame) else decode_frame(bytes(raw))
+        except FrameError:
+            self._count("stream.bad_frames")
+            return False
+        try:
+            if frame.ftype == FrameType.OPEN:
+                if frame.stream_id not in self._open:
+                    reassembler = StreamReassembler(frame)
+                    self._open[frame.stream_id] = reassembler
+                    if reassembler.complete:  # zero-chunk stream
+                        self._finish(frame.stream_id)
+            elif frame.ftype == FrameType.DATA:
+                reassembler = self._open.get(frame.stream_id)
+                if reassembler is not None and reassembler.feed(frame):
+                    self._finish(frame.stream_id)
+                # DATA for an unknown or finished stream: late duplicate.
+            # ACK frames carry no payload state on this side.
+        except FrameError:
+            self._open.pop(frame.stream_id, None)
+            self._count("stream.bad_frames")
+        return True
+
+    def _finish(self, stream_id: int) -> None:
+        reassembler = self._open.pop(stream_id)
+        data = reassembler.payload()  # verifies the whole-payload crc
+        context = reassembler.context
+        self._count("stream.completed")
+        if self.on_complete is not None and self.on_complete(context, data):
+            return
+        waiter = self._waiters.pop(stream_id, None)
+        if waiter is not None:
+            waiter.succeed((context, data))
+        else:
+            self._done[stream_id] = (context, data)
+
+    # -- retrieval -----------------------------------------------------------
+    def take(self, stream_id: int) -> tuple[dict, bytes] | None:
+        """Claim a completed stream's (context, payload), or None."""
+        return self._done.pop(stream_id, None)
+
+    def pending(self, stream_id: int) -> bool:
+        """True while the stream is mid-reassembly."""
+        return stream_id in self._open
+
+    def wait(
+        self, stream_id: int, timeout_s: float = STREAM_WAIT_TIMEOUT_S
+    ) -> typing.Generator:
+        """Await a stream's completion (``yield from`` in a process).
+
+        Raises :class:`~repro.net.errors.ConnectionLost` if no complete
+        stream materializes within ``timeout_s``.
+        """
+        ready = self.take(stream_id)
+        if ready is not None:
+            return ready
+        ev = self.sim.event(name=f"stream-complete:{stream_id}")
+        self._waiters[stream_id] = ev
+        timer = self.sim.timeout(timeout_s)
+        fired = yield ev | timer
+        if ev in fired:
+            return typing.cast(tuple, fired[ev])
+        self._waiters.pop(stream_id, None)
+        raise ConnectionLost(
+            f"stream {stream_id} did not complete within {timeout_s}s"
+        )
+
+    def clear(self) -> None:
+        """Drop all reassembly state (a crashed process reads nothing)."""
+        self._open.clear()
+        self._done.clear()
+        self._waiters.clear()
+
+
+def stream_over_channel(
+    sim: Simulator,
+    channel,
+    data: bytes,
+    context: dict,
+    *,
+    stream_id: int,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    to_server: bool = True,
+    metrics=None,
+    tracer=None,
+    trace_id: str = "",
+    parent_span=None,
+    max_chunk_retries: int = CHUNK_RETRIES,
+    retry_delay_s: float = CHUNK_RETRY_DELAY_S,
+) -> typing.Generator:
+    """Stream ``data`` over an https channel, one frame per send.
+
+    Each chunk's delivery event is its acknowledgement; a lost chunk is
+    retransmitted alone after the transport timeout — the resume point
+    is the lost chunk, never byte zero (``stream.resumes`` counts the
+    retransmissions).  Raises
+    :class:`~repro.net.errors.ConnectionLost` only once a single chunk
+    exhausts its retry budget.
+    """
+    sender = StreamSender(stream_id, data, chunk_bytes, context)
+    span = None
+    if tracer is not None and trace_id:
+        span = tracer.start_span(
+            "stream.send", trace_id, parent=parent_span, tier="user",
+            bytes=len(data), chunks=len(sender.chunks),
+            kind=context.get("kind", ""),
+        )
+    resumes = 0
+    try:
+        for frame in sender.frames():
+            raw = encode_frame(frame)
+            for attempt in range(1 + max_chunk_retries):
+                if metrics is not None:
+                    metrics.counter("stream.wire_bytes").inc(len(raw))
+                try:
+                    yield channel.send(raw, len(raw), to_server=to_server)
+                    break
+                except ConnectionLost:
+                    resumes += 1
+                    if metrics is not None:
+                        metrics.counter("stream.resumes").inc()
+                    if attempt >= max_chunk_retries:
+                        raise
+                    yield sim.timeout(retry_delay_s)
+            if metrics is not None:
+                metrics.counter(
+                    "stream.chunks" if frame.ftype == FrameType.DATA
+                    else "stream.opens"
+                ).inc()
+    except BaseException as err:
+        if span is not None:
+            tracer.end_span(span.set(resumes=resumes), error=err)
+        raise
+    if span is not None:
+        tracer.end_span(span.set(resumes=resumes))
+    return sender
+
+
+# ---------------------------------------------------------- bulk replies
+# FETCH_FILE / RETRIEVE_OUTCOME replies either carry their content
+# inline (tag 0) or reference a stream the gateway pushed ahead of the
+# reply on the same FIFO channel (tag 1).
+
+_BULK_INLINE = 0
+_BULK_STREAMED = 1
+_BULK_REF = struct.Struct("!BQQI")  # tag, stream_id, size, crc32
+
+
+def encode_inline_reply(content: bytes) -> bytes:
+    return bytes([_BULK_INLINE]) + content
+
+
+def encode_stream_reply(entry: FileEntry) -> bytes:
+    return _BULK_REF.pack(_BULK_STREAMED, entry.stream_id, entry.size,
+                          entry.crc32)
+
+
+def decode_bulk_reply(payload: bytes) -> tuple[str, bytes | FileEntry]:
+    """Returns ``("inline", content)`` or ``("stream", FileEntry)``."""
+    if not payload:
+        raise FrameError("empty bulk reply")
+    tag = payload[0]
+    if tag == _BULK_INLINE:
+        return "inline", payload[1:]
+    if tag == _BULK_STREAMED:
+        if len(payload) != _BULK_REF.size:
+            raise FrameError("malformed streamed-reply reference")
+        _, stream_id, size, crc = _BULK_REF.unpack(payload)
+        return "stream", FileEntry(path="", size=size, crc32=crc,
+                                   stream_id=stream_id)
+    raise FrameError(f"unknown bulk-reply tag {tag}")
+
+
+def fetch_bulk_payload(
+    endpoint: DataPlaneEndpoint | None,
+    payload: bytes,
+    timeout_s: float = STREAM_WAIT_TIMEOUT_S,
+) -> typing.Generator:
+    """Resolve a bulk reply to its content bytes (``yield from``).
+
+    Inline replies return immediately; streamed ones await the pushed
+    stream on ``endpoint`` and verify size and checksum.
+    """
+    kind, value = decode_bulk_reply(payload)
+    if kind == "inline":
+        return typing.cast(bytes, value)
+    entry = typing.cast(FileEntry, value)
+    if endpoint is None:
+        raise FrameError(
+            "reply references a streamed payload but this client has no "
+            "data-plane endpoint"
+        )
+    _context, data = yield from endpoint.wait(entry.stream_id, timeout_s)
+    if len(data) != entry.size or zlib.crc32(data) != entry.crc32:
+        raise FrameError(
+            f"streamed reply {entry.stream_id} failed integrity check"
+        )
+    return data

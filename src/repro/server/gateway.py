@@ -26,14 +26,28 @@ from __future__ import annotations
 
 import json
 import typing
+import zlib
 
 from repro.ajo.errors import SerializationError
 from repro.ajo.serialize import decode_ajo, decode_service
 from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
+from repro.net.errors import ConnectionLost
 from repro.net.https import HttpsChannel
 from repro.net.transport import Host, Network
 from repro.observability import telemetry_for
-from repro.protocol.consignment import decode_consignment
+from repro.protocol.consignment import (
+    FileEntry,
+    decode_consignment_envelope,
+    file_entry_for,
+)
+from repro.protocol.datapath import (
+    INLINE_FILE_MAX,
+    DataPlaneEndpoint,
+    StreamIdAllocator,
+    encode_inline_reply,
+    encode_stream_reply,
+    stream_over_channel,
+)
 from repro.protocol.messages import Reply, Request, RequestKind
 from repro.security.applet import SignedApplet
 from repro.security.ca import CertificateStore
@@ -80,6 +94,18 @@ class Gateway:
         #: request id -> cached reply, making retried requests idempotent
         #: (the async protocol resends after reply loss).
         self._reply_cache: dict[int, Reply] = {}
+        #: Data-plane intake: consignment uploads stream here ahead of
+        #: their control-plane request.  Survives crashes alongside the
+        #: reply cache (the process restarts on the same host).
+        self.datapath = DataPlaneEndpoint(
+            sim, metrics=telemetry_for(sim).metrics
+        )
+        self._stream_ids = StreamIdAllocator(f"gw:{usite_name}")
+        #: request id -> (content, manifest entry) for replies whose
+        #: bulk content is pushed on the data plane ahead of the reply.
+        #: Kept (not popped) so a retried request re-pushes the stream —
+        #: the client-side reassembler deduplicates repeated chunks.
+        self._push_streams: dict[int, tuple[bytes, FileEntry]] = {}
         #: Instrumentation.
         self.requests_served = 0
         self.auth_failures = 0
@@ -129,6 +155,15 @@ class Gateway:
     def _server_loop(self):
         while True:
             message = yield self.host.receive()
+            if isinstance(message.payload, (bytes, bytearray, memoryview)):
+                # Data-plane frame from a client channel.
+                if self.down:
+                    telemetry_for(self.sim).metrics.counter(
+                        "gateway.dropped_frames"
+                    ).inc()
+                else:
+                    self.datapath.feed(message.payload)
+                continue
             if self.down and isinstance(message.payload, Request):
                 telemetry_for(self.sim).metrics.counter(
                     "gateway.dropped_requests"
@@ -156,12 +191,43 @@ class Gateway:
         cached = self._reply_cache.get(request.request_id)
         if cached is not None:
             # Retried request (its reply was lost): resend, do not redo.
+            # Re-push any bulk stream first — the FIFO channel keeps the
+            # frames ahead of the reply, and the client deduplicates.
+            if not (yield from self._push_stream_for(channel, request.request_id)):
+                return
             channel.send(cached, cached.wire_size, to_server=False)
             return
         reply = yield from self._process(channel, request)
         self._reply_cache[request.request_id] = reply
         self.requests_served += 1
+        if not (yield from self._push_stream_for(channel, request.request_id)):
+            return
         channel.send(reply, reply.wire_size, to_server=False)
+
+    def _push_stream_for(self, channel: HttpsChannel, request_id: int):
+        """Push a reply's bulk content on the data plane.
+
+        Returns False when the stream could not be delivered — the reply
+        is then withheld so the client's request retry triggers a fresh
+        push from the cache instead of a 10-minute stream-wait timeout.
+        """
+        pushed = self._push_streams.get(request_id)
+        if pushed is None:
+            return True
+        content, entry = pushed
+        try:
+            yield from stream_over_channel(
+                self.sim, channel, content,
+                {"kind": "bulk-reply", "request": request_id},
+                stream_id=entry.stream_id, to_server=False,
+                metrics=telemetry_for(self.sim).metrics,
+            )
+        except ConnectionLost:
+            telemetry_for(self.sim).metrics.counter(
+                "gateway.push_aborts"
+            ).inc()
+            return False
+        return True
 
     def _process(self, channel: HttpsChannel, request: Request):
         telemetry = telemetry_for(self.sim)
@@ -217,15 +283,24 @@ class Gateway:
 
         # Firewall hop: gateway -> NJS socket (section 5.2).  The socket
         # is TCP on the site LAN: model it as reliable (a lost frame is
-        # retransmitted below the layer we simulate).
-        from repro.net.errors import ConnectionLost
-
+        # retransmitted below the layer we simulate).  Consignment bytes
+        # that arrived on the data plane cross the firewall here too.
+        fw_extra = 0
+        if request.kind == RequestKind.CONSIGN_JOB:
+            try:
+                fw_extra = sum(
+                    e.size
+                    for e in decode_consignment_envelope(request.payload).streamed
+                )
+            except SerializationError:
+                fw_extra = 0
         if self.njs.host.name != self.host.name:
             try:
                 yield self.network.send(
                     self.host.name, self.njs.host.name,
                     ("fw", request.request_id),
-                    request.wire_size, channel="firewall", deliver=False,
+                    request.wire_size + fw_extra, channel="firewall",
+                    deliver=False,
                 )
             except ConnectionLost:
                 pass
@@ -244,11 +319,14 @@ class Gateway:
             )
 
         if self.njs.host.name != self.host.name:
+            pushed = self._push_streams.get(request.request_id)
+            reply_extra = len(pushed[0]) if pushed is not None else 0
             try:
                 yield self.network.send(
                     self.njs.host.name, self.host.name,
                     ("fw-reply", request.request_id),
-                    reply.wire_size, channel="firewall", deliver=False,
+                    reply.wire_size + reply_extra, channel="firewall",
+                    deliver=False,
                 )
             except ConnectionLost:
                 pass
@@ -258,10 +336,39 @@ class Gateway:
             )
         return reply
 
+    def _bulk_payload(self, request_id: int, content: bytes) -> bytes:
+        """Wrap reply content: inline if small, else push on the data plane."""
+        if len(content) <= INLINE_FILE_MAX:
+            return encode_inline_reply(content)
+        entry = file_entry_for("", content, self._stream_ids.next())
+        self._push_streams[request_id] = (content, entry)
+        return encode_stream_reply(entry)
+
     def _dispatch(self, request: Request, parent_span=None) -> Reply:
         if request.kind == RequestKind.CONSIGN_JOB:
-            ajo_bytes, files = decode_consignment(request.payload)
-            ajo = decode_ajo(ajo_bytes)
+            consignment = decode_consignment_envelope(request.payload)
+            files = dict(consignment.files)
+            for entry in consignment.streamed:
+                ready = self.datapath.take(entry.stream_id)
+                if ready is None:
+                    # The upload never (fully) arrived — e.g. its frames
+                    # were dropped while this gateway was down.  Surface
+                    # as unavailability so the client fails over and
+                    # re-streams, rather than as a validation error.
+                    from repro.faults.errors import ServiceUnavailable
+
+                    raise ServiceUnavailable(
+                        f"consignment file {entry.path!r} references "
+                        f"stream {entry.stream_id}, which never arrived"
+                    )
+                _context, data = ready
+                if len(data) != entry.size or zlib.crc32(data) != entry.crc32:
+                    raise ConsignError(
+                        f"consignment file {entry.path!r} failed its "
+                        "stream integrity check"
+                    )
+                files[entry.path] = data
+            ajo = decode_ajo(consignment.ajo_bytes)
             if ajo.user_dn and ajo.user_dn != request.user_dn:
                 raise ConsignError(
                     f"AJO names user {ajo.user_dn!r} but the request was "
@@ -321,9 +428,10 @@ class Gateway:
         if request.kind == RequestKind.RETRIEVE_OUTCOME:
             job_id = request.payload.decode()
             self._authorize_job(job_id, request.user_dn)
+            outcome_bytes = self.njs.retrieve_outcome(job_id)
             return Reply(
                 request_id=request.request_id, ok=True,
-                payload=self.njs.retrieve_outcome(job_id),
+                payload=self._bulk_payload(request.request_id, outcome_bytes),
             )
 
         if request.kind == RequestKind.FETCH_FILE:
@@ -331,7 +439,8 @@ class Gateway:
             self._authorize_job(spec["job_id"], request.user_dn)
             content = self.njs.fetch_uspace_file(spec["job_id"], spec["path"])
             return Reply(
-                request_id=request.request_id, ok=True, payload=content
+                request_id=request.request_id, ok=True,
+                payload=self._bulk_payload(request.request_id, content),
             )
 
         if request.kind == RequestKind.DISPOSE:

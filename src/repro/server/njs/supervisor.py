@@ -28,6 +28,8 @@ import typing
 from dataclasses import dataclass, field
 from itertools import count
 
+from repro.ajo.errors import UnsafePathError
+
 from repro.ajo.job import AbstractJobObject
 from repro.ajo.outcome import AJOOutcome, TaskOutcome
 from repro.ajo.serialize import decode_ajo, decode_outcome, encode_ajo, encode_outcome
@@ -44,8 +46,19 @@ from repro.ajo.errors import ValidationError
 from repro.batch.base import BatchState, FileEffect
 from repro.batch.errors import BatchError, SystemOfflineError, UnknownJobError
 from repro.faults.errors import ServiceUnavailable
+from repro.net.errors import ConnectionLost
+from repro.net.stream import FrameType, StreamSender, encode_frame
 from repro.net.transport import Host, Network
 from repro.observability import telemetry_for
+from repro.protocol.consignment import validate_manifest_paths
+from repro.protocol.datapath import (
+    CHUNK_RETRIES,
+    CHUNK_RETRY_DELAY_S,
+    DEFAULT_CHUNK_BYTES,
+    INLINE_FILE_MAX,
+    DataPlaneEndpoint,
+    StreamIdAllocator,
+)
 from repro.protocol.views import JobListing, JobStatusView
 from repro.resources.check import check_request
 from repro.security.errors import MappingError
@@ -65,6 +78,7 @@ __all__ = [
     "NetworkJobSupervisor",
     "ForwardGroup",
     "GroupResult",
+    "PeerFrame",
     "TransferFile",
     "TransferAck",
     "CancelGroup",
@@ -133,8 +147,29 @@ class GroupResult:
 
 
 @dataclass(slots=True)
+class PeerFrame:
+    """One data-plane frame tunnelled on an NJS-NJS https route.
+
+    Bulk bytes (Uspace transfers, forwarded staging, group returns) no
+    longer ride whole inside control messages: they travel as chunked
+    :mod:`repro.net.stream` frames so control traffic interleaves and a
+    lost chunk resumes alone.
+    """
+
+    raw: bytes
+
+    @property
+    def wire_payload(self) -> int:
+        return len(self.raw)
+
+
+@dataclass(slots=True)
 class TransferFile:
-    """A Uspace-to-Uspace transfer (section 5.6, the https-tunnel path)."""
+    """A Uspace-to-Uspace transfer as one monolithic message.
+
+    Legacy wire shape, kept for comparison benchmarks: live transfers
+    now stream chunk-wise as :class:`PeerFrame` traffic (section 5.6's
+    https tunnel, split onto the data plane)."""
 
     corr_id: int
     reply_usite: str
@@ -216,6 +251,18 @@ class NetworkJobSupervisor:
         self._job_seq = count(1)
         self._corr_seq = count(1)
         self._pending: dict[int, object] = {}  # corr_id -> Event
+        #: Data-plane receiving endpoint: peer streams reassemble here
+        #: and dispatch by context kind (:meth:`_on_stream_complete`).
+        self.datapath = DataPlaneEndpoint(
+            sim, metrics=telemetry_for(sim).metrics,
+            on_complete=self._on_stream_complete,
+        )
+        self._stream_ids = StreamIdAllocator(f"njs:{usite_name}")
+        #: Streamed return files of forwarded groups, corr_id -> files.
+        self._returned_files: dict[int, dict[str, bytes]] = {}
+        #: Streamed staging files that precede their ForwardGroup,
+        #: keyed by the parent job id the group will carry.
+        self._pending_forward_files: dict[str, dict[str, bytes]] = {}
         #: peer Usite -> (route hops, handshake_done flag).
         self._peer_routes: dict[str, list[tuple[str, str]]] = {}
         self._peer_sessions: set[str] = set()
@@ -755,13 +802,16 @@ class NetworkJobSupervisor:
             return
         content = uspace.read(task.source_path)
         corr_id = next(self._corr_seq)
-        message = TransferFile(
-            corr_id=corr_id,
-            reply_usite=self.usite_name,
-            parent_job_id=run.job_id,
-            destination_path=task.destination_path,
-            content=content,
-        )
+        # The file travels on the data plane: chunked frames whose
+        # context tells the peer where the bytes belong.  The receiver
+        # acks the whole transfer once it is reassembled and stored.
+        context = {
+            "kind": "uspace-file",
+            "job": run.job_id,
+            "path": task.destination_path,
+            "reply": self.usite_name,
+            "corr": corr_id,
+        }
         started = self.sim.now
         reply_ev = self.sim.event(name=f"transfer-ack:{corr_id}")
         self._pending[corr_id] = reply_ev
@@ -773,11 +823,9 @@ class NetworkJobSupervisor:
                 tier="server", usite=task.destination_usite,
                 bytes=len(content),
             )
-        from repro.net.errors import ConnectionLost
-
         try:
-            yield from self._send_via_route(
-                task.destination_usite, message, message.wire_payload
+            yield from self._stream_to_peer(
+                task.destination_usite, content, context
             )
         except ConnectionLost as err:
             self._pending.pop(corr_id, None)
@@ -836,22 +884,35 @@ class NetworkJobSupervisor:
         }
         ws_files.update(staged)
         corr_id = next(self._corr_seq)
+        # Control/data-plane split: small staging files ride inside the
+        # ForwardGroup; large ones stream ahead of it on the same FIFO
+        # route, so they are reassembled at the peer before the group
+        # message arrives.
+        inline_files = {
+            p: c for p, c in ws_files.items() if len(c) <= INLINE_FILE_MAX
+        }
+        streamed_files = {
+            p: c for p, c in ws_files.items() if len(c) > INLINE_FILE_MAX
+        }
         message = ForwardGroup(
             corr_id=corr_id,
             reply_usite=self.usite_name,
             parent_job_id=run.job_id,
             user_dn=run.user_dn,
             ajo_bytes=encode_ajo(sub),
-            staged_files=ws_files,
+            staged_files=inline_files,
             return_files=return_files,
             trace_id=run.trace_id,
             parent_span_id=forward_span.span_id if forward_span else "",
         )
         reply_ev = self.sim.event(name=f"group-result:{corr_id}")
         self._pending[corr_id] = reply_ev
-        from repro.net.errors import ConnectionLost
-
         try:
+            for path, blob in sorted(streamed_files.items()):
+                yield from self._stream_to_peer(
+                    sub.usite, blob,
+                    {"kind": "forward-stage", "job": run.job_id, "path": path},
+                )
             yield from self._send_via_route(
                 sub.usite, message, message.wire_payload
             )
@@ -865,6 +926,7 @@ class NetworkJobSupervisor:
             )
             return
         result = yield reply_ev
+        returned_files = self._returned_files.pop(corr_id, {})
         if forward_span is not None:
             telemetry.tracer.end_span(
                 forward_span, error=None if result.ok else result.error
@@ -884,8 +946,12 @@ class NetworkJobSupervisor:
             return
         sub_outcome = typing.cast(AJOOutcome, decode_outcome(result.outcome_bytes))
         self._merge_outcome(run, group, sub, sub_outcome)
-        if result.produced_files:
-            run.remote_files[sub.id] = dict(result.produced_files)
+        if result.produced_files or returned_files:
+            # Small return files ride inside the GroupResult; large ones
+            # streamed ahead and were collected under this corr_id.
+            merged = dict(returned_files)
+            merged.update(result.produced_files)
+            run.remote_files[sub.id] = merged
         status = sub_outcome.rollup_status()
         if not status.is_terminal:
             status = ActionStatus.FAILED
@@ -916,17 +982,57 @@ class NetworkJobSupervisor:
     PEER_RETRIES = 6
     PEER_RETRY_DELAY_S = 5.0
 
-    def _send_via_route(self, usite: str, payload, payload_size: int):
+    def _stream_to_peer(self, usite: str, data: bytes, context: dict,
+                        chunk_bytes: int = DEFAULT_CHUNK_BYTES):
+        """Stream a bulk payload to a peer NJS, one chunked frame at a time.
+
+        Each chunk travels as its own :class:`PeerFrame` hop sequence, so
+        control messages sharing the route's links wait for at most one
+        chunk's serialization.  A chunk lost mid-route is retransmitted
+        *alone* — the stream resumes from the last acknowledged chunk
+        (``stream.resumes``) instead of restarting, which is what makes
+        WAN-drop faults survivable for multi-megabyte transfers.
+        """
+        telemetry = telemetry_for(self.sim)
+        sender = StreamSender(
+            self._stream_ids.next(), data, chunk_bytes, context
+        )
+        for frame in sender.frames():
+            raw = encode_frame(frame)
+            payload = PeerFrame(raw)
+            for attempt in range(1 + CHUNK_RETRIES):
+                telemetry.metrics.counter("stream.wire_bytes").inc(len(raw))
+                try:
+                    # retries=0: a loss surfaces here (per-chunk resume)
+                    # instead of being hidden inside the hop machinery.
+                    yield from self._send_via_route(
+                        usite, payload, len(raw), retries=0
+                    )
+                    break
+                except ConnectionLost:
+                    telemetry.metrics.counter("stream.resumes").inc()
+                    if attempt >= CHUNK_RETRIES:
+                        raise
+                    yield self.sim.timeout(CHUNK_RETRY_DELAY_S)
+            telemetry.metrics.counter(
+                "stream.chunks" if frame.ftype == FrameType.DATA
+                else "stream.opens"
+            ).inc()
+        return sender
+
+    def _send_via_route(
+        self, usite: str, payload, payload_size: int,
+        retries: int | None = None,
+    ):
         """Send via the https route (NJS -> gateway -> peer gateway -> NJS).
 
         First use of a route pays the SSL handshake round trips end to
         end.  Every hop carries the record-framed byte count; endpoint
         seal/open CPU is charged once.  Lost messages are resent up to
-        :data:`PEER_RETRIES` times; after that :class:`ConnectionLost`
-        propagates to the caller, which fails the affected action.
+        :data:`PEER_RETRIES` times (``retries`` overrides the budget);
+        after that :class:`ConnectionLost` propagates to the caller,
+        which fails the affected action.
         """
-        from repro.net.errors import ConnectionLost
-
         route = self._peer_routes[usite]
         if usite not in self._peer_sessions:
             for _ in range(HANDSHAKE_ROUND_TRIPS):
@@ -945,19 +1051,19 @@ class NetworkJobSupervisor:
         last = len(route) - 1
         for i, (src, dst) in enumerate(route):
             yield from self._reliable_hop(
-                src, dst, payload, wire, "njs-njs", i == last
+                src, dst, payload, wire, "njs-njs", i == last,
+                retries=retries,
             )
         yield self.sim.timeout(records * self.per_record_cpu_s)  # open
 
     def _reliable_hop(
         self, src: str, dst: str, payload, wire: int, channel: str,
-        deliver: bool,
+        deliver: bool, retries: int | None = None,
     ):
         """One hop with bounded retransmission."""
-        from repro.net.errors import ConnectionLost
-
+        budget = self.PEER_RETRIES if retries is None else retries
         last_error: Exception | None = None
-        for attempt in range(1 + self.PEER_RETRIES):
+        for attempt in range(1 + budget):
             try:
                 yield self.network.send(
                     src, dst, payload, wire, channel=channel, deliver=deliver
@@ -965,7 +1071,7 @@ class NetworkJobSupervisor:
                 return
             except ConnectionLost as err:
                 last_error = err
-                if attempt < self.PEER_RETRIES:
+                if attempt < budget:
                     yield self.sim.timeout(self.PEER_RETRY_DELAY_S)
         assert last_error is not None
         raise last_error
@@ -980,13 +1086,16 @@ class NetworkJobSupervisor:
         """Handle one NJS-to-NJS message; returns True if it was ours."""
         if self.crashed and isinstance(
             payload, (ForwardGroup, GroupResult, TransferFile, TransferAck,
-                      CancelGroup)
+                      CancelGroup, PeerFrame)
         ):
             # A dead process reads nothing: the message is simply lost
             # (senders retry or fail their action, as with a lost frame).
             telemetry_for(self.sim).metrics.counter(
                 "njs.dropped_peer_messages"
             ).inc()
+            return True
+        if isinstance(payload, PeerFrame):
+            self.datapath.feed(payload.raw)
             return True
         if isinstance(payload, ForwardGroup):
             self.sim.process(self._handle_forward(payload))
@@ -1003,12 +1112,19 @@ class NetworkJobSupervisor:
         return True
 
     def _handle_forward(self, message: ForwardGroup):
+        # Large staging files streamed ahead of the group on the same
+        # FIFO route; they are already reassembled under the parent id.
+        staged_files = dict(message.staged_files)
+        staged_files.update(
+            self._pending_forward_files.pop(message.parent_job_id, {})
+        )
         try:
+            validate_manifest_paths(staged_files, what="forwarded staging")
             sub = decode_ajo(message.ajo_bytes)
             run = self.consign(
                 sub,
                 user_dn=message.user_dn,
-                workstation_files=message.staged_files,
+                workstation_files=staged_files,
                 parent_job_id=message.parent_job_id,
                 trace_id=message.trace_id,
                 parent_span_id=message.parent_span_id,
@@ -1019,8 +1135,6 @@ class NetworkJobSupervisor:
                 ),
             )
         except Exception as err:  # noqa: BLE001 - reported back to the peer
-            from repro.net.errors import ConnectionLost
-
             reply = GroupResult(
                 corr_id=message.corr_id, ok=False, error=str(err)
             )
@@ -1033,7 +1147,7 @@ class NetworkJobSupervisor:
             return
         # Also stash staged files into the group uspace on creation
         # (handled by _early_files in _run_group).
-        self._early_files.setdefault(run.job_id, {}).update(message.staged_files)
+        self._early_files.setdefault(run.job_id, {}).update(staged_files)
         # The parent expects these files back: the group's sink tasks
         # must produce them.
         run.group_expected[run.root.id] = tuple(message.return_files)
@@ -1056,15 +1170,26 @@ class NetworkJobSupervisor:
                 if uspace.exists(path):
                     produced[path] = uspace.read(path)
                     break
+        # Big result files stream home on the data plane, keyed by this
+        # correlation id; small ones ride inside the GroupResult.
+        inline_produced = {
+            p: c for p, c in produced.items() if len(c) <= INLINE_FILE_MAX
+        }
+        streamed_produced = {
+            p: c for p, c in produced.items() if len(c) > INLINE_FILE_MAX
+        }
         reply = GroupResult(
             corr_id=corr_id,
             ok=True,
             outcome_bytes=encode_outcome(run.root_outcome),
-            produced_files=produced,
+            produced_files=inline_produced,
         )
-        from repro.net.errors import ConnectionLost
-
         try:
+            for path, blob in sorted(streamed_produced.items()):
+                yield from self._stream_to_peer(
+                    reply_usite, blob,
+                    {"kind": "group-return", "corr": corr_id, "path": path},
+                )
             yield from self._send_via_route(
                 reply_usite, reply, reply.wire_payload
             )
@@ -1092,11 +1217,87 @@ class NetworkJobSupervisor:
             len(message.content) / self.local_disk_bandwidth_Bps
         )
         ack = TransferAck(corr_id=message.corr_id, ok=stored)
-        from repro.net.errors import ConnectionLost
-
         try:
             yield from self._send_via_route(
                 message.reply_usite, ack, ack.wire_payload
+            )
+        except ConnectionLost:
+            pass  # sender retries are exhausted; it reports the failure
+
+    # ------------------------------------------------------ data-plane intake
+    def _on_stream_complete(self, context: dict, data: bytes) -> bool:
+        """Route a reassembled peer stream by its context kind."""
+        kind = context.get("kind")
+        if kind == "uspace-file":
+            # A Uspace-to-Uspace transfer: store + ack (its own process,
+            # because storing charges disk time and the ack travels back).
+            self.sim.process(
+                self._complete_transfer(context, data),
+                name=f"transfer-in:{context.get('corr', 0)}",
+            )
+            return True
+        if kind == "forward-stage":
+            # Staging for a ForwardGroup still in flight behind us.
+            path = str(context.get("path", ""))
+            try:
+                validate_manifest_paths([path], what="forwarded staging")
+            except UnsafePathError:
+                telemetry_for(self.sim).metrics.counter(
+                    "njs.rejected_paths"
+                ).inc()
+                return True
+            self._pending_forward_files.setdefault(
+                str(context.get("job", "")), {}
+            )[path] = data
+            return True
+        if kind == "group-return":
+            self._returned_files.setdefault(
+                int(context.get("corr", 0)), {}
+            )[str(context.get("path", ""))] = data
+            return True
+        return False
+
+    def _complete_transfer(self, context: dict, data: bytes):
+        """Store one streamed transfer and acknowledge it."""
+        corr_id = int(context.get("corr", 0))
+        reply_usite = str(context.get("reply", ""))
+        parent_job_id = str(context.get("job", ""))
+        path = str(context.get("path", ""))
+        try:
+            # Strict policy: this path is written into a Uspace, so
+            # absolute paths are refused along with traversal segments.
+            validate_manifest_paths(
+                [path], uspace_destination=True, what="transfer destination"
+            )
+        except UnsafePathError as err:
+            telemetry_for(self.sim).metrics.counter("njs.rejected_paths").inc()
+            nack = TransferAck(corr_id=corr_id, ok=False, error=str(err))
+            try:
+                yield from self._send_via_route(
+                    reply_usite, nack, nack.wire_payload
+                )
+            except ConnectionLost:
+                pass
+            return
+        run = self._foreign_runs.get(parent_job_id) or self._runs.get(
+            parent_job_id
+        )
+        stored = False
+        if run is not None:
+            for uspace in run.uspaces.values():
+                uspace.write(path, data)
+                stored = True
+                break
+        if not stored:
+            # Group not consigned here (yet): stash for arrival, keyed by
+            # the parent job id every ForwardGroup of this job carries.
+            self._early_files.setdefault(parent_job_id, {})[path] = data
+            stored = True
+        yield self.sim.timeout(len(data) / self.local_disk_bandwidth_Bps)
+        ack = TransferAck(corr_id=corr_id, ok=stored)
+        try:
+            yield from self._send_via_route(
+                reply_usite, ack, ack.wire_payload
             )
         except ConnectionLost:
             pass  # sender retries are exhausted; it reports the failure
@@ -1141,6 +1342,10 @@ class NetworkJobSupervisor:
         self._foreign_runs.clear()
         self._early_files.clear()
         self._pending.clear()
+        # In-flight stream reassembly dies with the process.
+        self.datapath.clear()
+        self._returned_files.clear()
+        self._pending_forward_files.clear()
         # SSL sessions to peers died with the process: re-handshake.
         self._peer_sessions.clear()
 
@@ -1369,8 +1574,6 @@ class NetworkJobSupervisor:
                 )
 
     def _send_as_process(self, usite, message, size):
-        from repro.net.errors import ConnectionLost
-
         try:
             yield from self._send_via_route(usite, message, size)
         except ConnectionLost:
