@@ -8,12 +8,19 @@ a small multi-site job, and prints the JMC view.
 span tree — the per-job trace assembled as the AJO flows client →
 gateway → NJS → batch → outcome return — optionally exporting the trace
 and the metrics snapshot as JSON.
+
+``repro lint`` runs the consign-time static analyzer over serialized
+AJO files (the ``encode_ajo`` wire format) and reports the diagnostics,
+human-readable or as JSON — the same checks the JPA and NJS apply, made
+available for CI pipelines.
 """
 
 import argparse
 import json
 import sys
 
+from repro.ajo.serialize import decode_ajo
+from repro.analysis import AnalysisContext, analyze_ajo
 from repro.api import GridSession
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import build_german_grid, figure1, figure2
@@ -124,6 +131,34 @@ def trace_command(args: argparse.Namespace) -> None:
         print(f"\nwrote JSON export to {args.json}")
 
 
+def lint_command(args: argparse.Namespace) -> None:
+    """Analyze serialized AJO files; exit 1 if any carries errors."""
+    context = AnalysisContext()
+    reports = []
+    for path in args.paths:
+        try:
+            with open(path, "rb") as fh:
+                job = decode_ajo(fh.read())
+        except (OSError, ValueError) as err:
+            print(f"{path}: cannot read AJO: {err}", file=sys.stderr)
+            sys.exit(2)
+        # Off-line lint: the user DN travels with the consignment, not
+        # necessarily inside a stored AJO file, so don't require it.
+        reports.append((path, analyze_ajo(job, context, require_user=False)))
+
+    if args.json:
+        print(json.dumps(
+            [dict(report.to_dict(), path=path) for path, report in reports],
+            indent=2,
+        ))
+    else:
+        for path, report in reports:
+            print(f"{path}:")
+            print(report.render())
+    if any(not report.ok for _, report in reports):
+        sys.exit(1)
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro", description="UNICORE reproduction command line"
@@ -141,9 +176,22 @@ def main(argv: list[str] | None = None) -> None:
         "--json", metavar="PATH", default="",
         help="also write the trace + metrics snapshot as JSON",
     )
+    lint_parser = sub.add_parser(
+        "lint", help="statically analyze serialized AJO files"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="+", metavar="AJO",
+        help="files in the encode_ajo wire format",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostics as JSON instead of text",
+    )
     args = parser.parse_args(argv)
     if args.command == "trace":
         trace_command(args)
+    elif args.command == "lint":
+        lint_command(args)
     else:
         demo()
 

@@ -10,6 +10,7 @@ counter for full determinism.
 from __future__ import annotations
 
 import itertools
+import typing
 
 __all__ = ["AbstractAction", "reset_action_ids"]
 
@@ -47,7 +48,7 @@ class AbstractAction:
         self.id = action_id if action_id is not None else _next_id(self.type_tag[:3])
 
     # -- serialization hooks (extended by subclasses) -------------------------
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         """Subclass fields as a JSON-able dict (without type/envelope)."""
         return {"id": self.id, "name": self.name}
 

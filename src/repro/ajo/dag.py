@@ -106,7 +106,7 @@ def critical_path_length(
     return max(finish.values(), default=0.0)
 
 
-def to_networkx(job: AbstractJobObject):
+def to_networkx(job: AbstractJobObject) -> typing.Any:
     """The direct-children dependency graph as a ``networkx.DiGraph``.
 
     Node attributes carry the action objects; edge attributes the files.

@@ -166,7 +166,7 @@ class AbstractJobObject(AbstractAction):
         return 1 + (max((s.depth() for s in subs), default=0))
 
     # -- serialization -----------------------------------------------------------
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload.update(
             vsite=self.vsite,

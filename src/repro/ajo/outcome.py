@@ -56,7 +56,7 @@ class Outcome:
         if reason:
             self.reason = reason
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         return {
             "action_id": self.action_id,
             "status": self.status.value,
@@ -66,14 +66,14 @@ class Outcome:
         }
 
     @classmethod
-    def _apply_payload(cls, out: "Outcome", payload: dict) -> None:
+    def _apply_payload(cls, out: "Outcome", payload: dict[str, typing.Any]) -> None:
         out.status = ActionStatus(payload["status"])
         out.reason = payload["reason"]
         out.submitted_at = payload["submitted_at"]
         out.completed_at = payload["completed_at"]
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "Outcome":
+    def from_payload(cls, payload: dict[str, typing.Any]) -> "Outcome":
         out = cls(action_id=payload["action_id"])
         cls._apply_payload(out, payload)
         return out
@@ -93,13 +93,13 @@ class TaskOutcome(Outcome):
 
     kind: typing.ClassVar[str] = "task"
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = Outcome.to_payload(self)
         payload.update(exit_code=self.exit_code, stdout=self.stdout, stderr=self.stderr)
         return payload
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "TaskOutcome":
+    def from_payload(cls, payload: dict[str, typing.Any]) -> "TaskOutcome":
         out = cls(action_id=payload["action_id"])
         cls._apply_payload(out, payload)
         out.exit_code = payload["exit_code"]
@@ -117,7 +117,7 @@ class FileOutcome(Outcome):
 
     kind: typing.ClassVar[str] = "file"
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = Outcome.to_payload(self)
         payload.update(
             bytes_moved=self.bytes_moved,
@@ -126,7 +126,7 @@ class FileOutcome(Outcome):
         return payload
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "FileOutcome":
+    def from_payload(cls, payload: dict[str, typing.Any]) -> "FileOutcome":
         out = cls(action_id=payload["action_id"])
         cls._apply_payload(out, payload)
         out.bytes_moved = payload["bytes_moved"]
@@ -143,13 +143,13 @@ class ServiceOutcome(Outcome):
 
     kind: typing.ClassVar[str] = "service"
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = Outcome.to_payload(self)
         payload["answer"] = self.answer
         return payload
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "ServiceOutcome":
+    def from_payload(cls, payload: dict[str, typing.Any]) -> "ServiceOutcome":
         out = cls(action_id=payload["action_id"])
         cls._apply_payload(out, payload)
         out.answer = payload["answer"]
@@ -219,7 +219,7 @@ class AJOOutcome(Outcome):
             return ActionStatus.NOT_ATTEMPTED
         return ActionStatus.SUCCESSFUL
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = Outcome.to_payload(self)
         payload["children"] = {
             cid: {"kind": child.kind, "data": child.to_payload()}
@@ -228,7 +228,7 @@ class AJOOutcome(Outcome):
         return payload
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "AJOOutcome":
+    def from_payload(cls, payload: dict[str, typing.Any]) -> "AJOOutcome":
         out = cls(action_id=payload["action_id"])
         cls._apply_payload(out, payload)
         for cid, wrapped in payload["children"].items():

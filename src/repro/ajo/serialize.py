@@ -18,6 +18,7 @@ Encoded form::
 from __future__ import annotations
 
 import json
+import typing
 
 from repro.ajo.actions import AbstractAction
 from repro.ajo.errors import SerializationError
@@ -66,7 +67,7 @@ _REGISTRY: dict[str, type[AbstractAction]] = {
 }
 
 
-def _encode_action(action: AbstractAction) -> dict:
+def _encode_action(action: AbstractAction) -> dict[str, typing.Any]:
     tag = action.type_tag
     if tag not in _REGISTRY or type(action) is not _REGISTRY[tag]:
         raise SerializationError(
@@ -85,7 +86,7 @@ def _encode_action(action: AbstractAction) -> dict:
 
 # Constructor adapters: payload dict -> instance.  Resources re-hydrate via
 # ResourceRequest.from_dict; extra payload keys are the constructor kwargs.
-def _decode_action(node: dict) -> AbstractAction:
+def _decode_action(node: dict[str, typing.Any]) -> AbstractAction:
     try:
         tag = node["type"]
         data = dict(node["data"])
@@ -105,7 +106,7 @@ def _decode_action(node: dict) -> AbstractAction:
     resources = data.pop("resources", None)
     environment = data.pop("environment", None)
 
-    kwargs: dict = {"name": name, "action_id": action_id}
+    kwargs: dict[str, typing.Any] = {"name": name, "action_id": action_id}
     if resources is not None:
         kwargs["resources"] = ResourceRequest.from_dict(resources)
     if environment is not None:

@@ -8,6 +8,8 @@ jobs.
 
 from __future__ import annotations
 
+import typing
+
 from repro.ajo.actions import AbstractAction
 from repro.ajo.errors import ValidationError
 
@@ -50,7 +52,7 @@ class ControlService(AbstractService):
         self.target_job_id = target_job_id
         self.verb = verb
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["target_job_id"] = self.target_job_id
         payload["verb"] = self.verb
@@ -92,7 +94,7 @@ class QueryService(AbstractService):
         self.target_job_id = target_job_id
         self.detail = detail
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["target_job_id"] = self.target_job_id
         payload["detail"] = self.detail

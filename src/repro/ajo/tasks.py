@@ -20,6 +20,8 @@ Two families (Figure 3):
 
 from __future__ import annotations
 
+import typing
+
 from repro.ajo.actions import AbstractAction
 from repro.ajo.errors import ValidationError
 from repro.resources.model import ResourceRequest
@@ -66,7 +68,7 @@ class AbstractTaskObject(AbstractAction):
         super().__init__(name, action_id=action_id)
         self.resources = resources or ResourceRequest()
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["resources"] = self.resources.as_dict()
         return payload
@@ -107,7 +109,7 @@ class ExecuteTask(AbstractTaskObject):
             raise ValidationError("simulated_runtime_s must be non-negative")
         self.simulated_runtime_s = simulated_runtime_s
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["environment"] = dict(sorted(self.environment.items()))
         payload["simulated_runtime_s"] = self.simulated_runtime_s
@@ -138,7 +140,7 @@ class UserTask(ExecuteTask):
         self.executable = executable
         self.arguments = list(arguments or [])
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["executable"] = self.executable
         payload["arguments"] = list(self.arguments)
@@ -169,7 +171,7 @@ class ExecuteScriptTask(ExecuteTask):
         self.script = script
         self.interpreter = interpreter
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["script"] = self.script
         payload["interpreter"] = self.interpreter
@@ -209,7 +211,7 @@ class CompileTask(ExecuteTask):
     def required_software(self) -> list[tuple[str, str]]:
         return [("compiler", self.compiler)]
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload.update(
             sources=list(self.sources),
@@ -254,7 +256,7 @@ class LinkTask(ExecuteTask):
         reqs.extend(("library", lib) for lib in self.libraries)
         return reqs
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload.update(
             objects=list(self.objects),
@@ -285,7 +287,7 @@ class FileTask(AbstractTaskObject):
         self.source_path = source_path
         self.destination_path = destination_path
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["source_path"] = self.source_path
         payload["destination_path"] = self.destination_path
@@ -321,7 +323,7 @@ class ImportTask(FileTask):
             )
         self.source_space = source_space
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["source_space"] = self.source_space
         return payload
@@ -360,7 +362,7 @@ class TransferTask(FileTask):
             raise ValidationError("TransferTask requires a destination Usite")
         self.destination_usite = destination_usite
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["destination_usite"] = self.destination_usite
         return payload

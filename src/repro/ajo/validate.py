@@ -1,7 +1,11 @@
 """Structural validation of a complete AJO.
 
 The JPA validates before consigning; the gateway/NJS re-validate on
-arrival (never trust the client).  Checks:
+arrival (never trust the client).  The checks themselves now live in the
+:mod:`repro.analysis.structure` pass (diagnostics ``AJO1xx``), so
+structural, dataflow, and resource findings share one report format;
+:func:`validate_ajo` remains as the historical raise-on-first-error
+interface over that pass:
 
 * action ids are unique across the whole tree;
 * every job group's dependency graph is acyclic (recursively);
@@ -12,10 +16,8 @@ arrival (never trust the client).  Checks:
 
 from __future__ import annotations
 
-from repro.ajo.dag import topological_order
-from repro.ajo.errors import ValidationError
+from repro.ajo.errors import DependencyCycleError, ValidationError
 from repro.ajo.job import AbstractJobObject
-from repro.ajo.tasks import TransferTask
 
 __all__ = ["validate_ajo"]
 
@@ -23,42 +25,24 @@ __all__ = ["validate_ajo"]
 def validate_ajo(job: AbstractJobObject, *, require_user: bool = True) -> None:
     """Validate the whole AJO tree; raises :class:`ValidationError`.
 
+    A thin compatibility wrapper over the structure pass: the first
+    error-severity diagnostic becomes the raised exception
+    (:class:`DependencyCycleError` for cycles, preserving the historical
+    exception types).  Notes and warnings never raise.
+
     Parameters
     ----------
     require_user:
         The root AJO must carry a user DN.  Sub-AJOs forwarded between
         NJSs inherit the user from the root, so recursion disables this.
     """
-    if require_user and not job.user_dn:
-        raise ValidationError(
-            f"root AJO {job.id} carries no user DN; the certificate DN is "
-            "the unique UNICORE user identification"
-        )
+    # Imported lazily: repro.analysis depends on this package.
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.structure import CODE_CYCLE, structure_pass
 
-    seen_ids: set[str] = set()
-    for action in job.walk():
-        if action.id in seen_ids:
-            raise ValidationError(f"duplicate action id {action.id} in AJO tree")
-        seen_ids.add(action.id)
-
-    _validate_group(job)
-
-
-def _validate_group(group: AbstractJobObject) -> None:
-    if group.tasks() and not group.vsite:
-        raise ValidationError(
-            f"job group {group.id} ({group.name!r}) contains tasks but "
-            "names no destination Vsite"
-        )
-    # Raises DependencyCycleError (a ValidationError) on cycles.
-    topological_order(group)
-
-    for task in group.tasks():
-        if isinstance(task, TransferTask) and task.destination_usite == group.usite:
-            raise ValidationError(
-                f"transfer task {task.id} targets its own Usite "
-                f"{group.usite!r}; use an export instead"
-            )
-
-    for sub in group.sub_jobs():
-        _validate_group(sub)
+    for diag in structure_pass(job, require_user=require_user):
+        if diag.severity is not Severity.ERROR:
+            continue
+        if diag.code == CODE_CYCLE:
+            raise DependencyCycleError(diag.message)
+        raise ValidationError(diag.message)

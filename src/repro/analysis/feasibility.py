@@ -1,0 +1,218 @@
+"""Pass 3 — resource, software, and incarnation feasibility (``AJO3xx``).
+
+Folds :func:`repro.resources.check.check_request` and the software
+catalogue into a whole-tree walk: every job group is checked against its
+destination Vsite's resource page (recursively, sub-AJOs included), the
+route table is consulted for forwarded groups and transfers, and each
+execute task is dry-run through the destination's batch dialect — the
+script is rendered and parsed back without ever being submitted, exactly
+the wrong-dialect rejection a real batch host would produce, caught at
+consign time instead.
+
+Everything here is vantage-point dependent: checks silently stand down
+when the :class:`~repro.analysis.context.AnalysisContext` lacks the
+page, queue, dialect, or route knowledge they need.
+"""
+
+from __future__ import annotations
+
+from repro.ajo.job import AbstractJobObject
+from repro.ajo.tasks import ExecuteTask, TransferTask
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.batch.dialects import Dialect, dialect_for
+from repro.batch.errors import BatchError
+from repro.resources.check import check_request
+
+__all__ = [
+    "feasibility_pass",
+    "CODE_UNKNOWN_VSITE",
+    "CODE_RESOURCE_VIOLATION",
+    "CODE_MISSING_SOFTWARE",
+    "CODE_NO_ROUTE",
+    "CODE_TRANSFER_NO_ROUTE",
+    "CODE_NO_QUEUE",
+    "CODE_DIALECT_DRY_RUN",
+    "CODE_TRUNCATED_RESOURCE",
+]
+
+CODE_UNKNOWN_VSITE = "AJO301"
+CODE_RESOURCE_VIOLATION = "AJO302"
+CODE_MISSING_SOFTWARE = "AJO303"
+CODE_NO_ROUTE = "AJO304"
+CODE_TRANSFER_NO_ROUTE = "AJO305"
+CODE_NO_QUEUE = "AJO306"
+CODE_DIALECT_DRY_RUN = "AJO307"
+CODE_TRUNCATED_RESOURCE = "AJO308"
+
+
+def feasibility_pass(
+    job: AbstractJobObject, context: AnalysisContext
+) -> list[Diagnostic]:
+    """Feasibility diagnostics for every group the context can judge."""
+    diags: list[Diagnostic] = []
+    _check_group(job, (job.id,), context, diags)
+    return diags
+
+
+def _is_local(group: AbstractJobObject, context: AnalysisContext) -> bool:
+    if not context.local_usite:
+        return True  # no site perspective: judge whatever pages exist
+    return group.usite in ("", context.local_usite)
+
+
+def _check_group(
+    group: AbstractJobObject,
+    path: tuple[str, ...],
+    context: AnalysisContext,
+    diags: list[Diagnostic],
+) -> None:
+    if not _is_local(group, context):
+        # Destined elsewhere: the remote NJS re-checks on arrival; all we
+        # can verify here is that a route exists to hand it over.
+        if (
+            context.known_usites is not None
+            and group.usite not in context.known_usites
+        ):
+            diags.append(
+                Diagnostic(
+                    CODE_NO_ROUTE,
+                    Severity.ERROR,
+                    f"no route to Usite {group.usite!r} for job group "
+                    f"{group.id} ({group.name!r})",
+                    path,
+                )
+            )
+        return
+
+    if group.tasks() and group.vsite:
+        page = context.pages.get(group.vsite)
+        if page is None:
+            if context.require_vsites:
+                diags.append(
+                    Diagnostic(
+                        CODE_UNKNOWN_VSITE,
+                        Severity.ERROR,
+                        f"unknown Vsite {group.vsite!r} for job group "
+                        f"{group.id} (available: {sorted(context.pages)})",
+                        path,
+                    )
+                )
+            # Client side: no page served for this Vsite — the
+            # destination NJS is the authority, stand down.
+        else:
+            for task in group.tasks():
+                result = check_request(page, task.resources, None)
+                if not result.ok:
+                    diags.append(
+                        Diagnostic(
+                            CODE_RESOURCE_VIOLATION,
+                            Severity.ERROR,
+                            f"task {task.name!r}: {result.summary()}",
+                            path + (task.id,),
+                        )
+                    )
+                for kind, name in task.required_software():
+                    if not page.software.has(kind, name):
+                        diags.append(
+                            Diagnostic(
+                                CODE_MISSING_SOFTWARE,
+                                Severity.ERROR,
+                                f"task {task.name!r} needs {kind} {name!r} "
+                                f"which {group.vsite} does not offer",
+                                path + (task.id,),
+                            )
+                        )
+            _incarnation_dry_run(group, path, context, diags)
+
+    for task in group.tasks():
+        if (
+            isinstance(task, TransferTask)
+            and context.known_usites is not None
+            and task.destination_usite != context.local_usite
+            and task.destination_usite not in context.known_usites
+        ):
+            diags.append(
+                Diagnostic(
+                    CODE_TRANSFER_NO_ROUTE,
+                    Severity.WARNING,
+                    f"transfer task {task.id} targets Usite "
+                    f"{task.destination_usite!r} to which no route is known; "
+                    "it will fail at run time unless one appears",
+                    path + (task.id,),
+                )
+            )
+
+    for sub in group.sub_jobs():
+        _check_group(sub, path + (sub.id,), context, diags)
+
+
+def _incarnation_dry_run(
+    group: AbstractJobObject,
+    path: tuple[str, ...],
+    context: AnalysisContext,
+    diags: list[Diagnostic],
+) -> None:
+    """Render-and-parse-back each execute task without submitting it."""
+    queues = context.queues.get(group.vsite, ())
+    dialect_key = context.dialects.get(group.vsite)
+    dialect: Dialect | None = None
+    if dialect_key is not None:
+        try:
+            dialect = dialect_for(dialect_key)
+        except BatchError as err:
+            diags.append(
+                Diagnostic(
+                    CODE_DIALECT_DRY_RUN,
+                    Severity.ERROR,
+                    f"Vsite {group.vsite}: {err}",
+                    path,
+                )
+            )
+
+    for task in group.tasks():
+        if not isinstance(task, ExecuteTask):
+            continue
+        if queues:
+            admitting = [q for q in queues if not q.admits(task.resources)]
+            if not admitting:
+                problems = "; ".join(queues[0].admits(task.resources))
+                diags.append(
+                    Diagnostic(
+                        CODE_NO_QUEUE,
+                        Severity.WARNING,
+                        f"no queue at {group.vsite} admits task {task.name!r} "
+                        f"(e.g. {problems})",
+                        path + (task.id,),
+                    )
+                )
+        if dialect is not None:
+            queue_name = queues[0].name if queues else "batch"
+            script = dialect.render_script(
+                task.name, queue_name, task.resources, ["true"]
+            )
+            try:
+                dialect.parse_directives(script)
+            except BatchError as err:
+                diags.append(
+                    Diagnostic(
+                        CODE_DIALECT_DRY_RUN,
+                        Severity.ERROR,
+                        f"task {task.name!r} does not incarnate for "
+                        f"{dialect.display_name} at {group.vsite}: {err}",
+                        path + (task.id,),
+                    )
+                )
+            for axis in ("time_s", "memory_mb"):
+                value = getattr(task.resources, axis)
+                if 0 < value < 1:
+                    diags.append(
+                        Diagnostic(
+                            CODE_TRUNCATED_RESOURCE,
+                            Severity.WARNING,
+                            f"task {task.name!r} requests {axis}={value}, "
+                            f"which the {dialect.display_name} directives "
+                            "truncate to zero",
+                            path + (task.id,),
+                        )
+                    )

@@ -32,8 +32,8 @@ from repro.ajo.tasks import (
     TransferTask,
     UserTask,
 )
-from repro.ajo.validate import validate_ajo
 from repro.ajo.errors import ValidationError
+from repro.analysis import AnalysisContext, AnalysisError, analyze_ajo
 from repro.client.browser import UnicoreSession
 from repro.faults.errors import ServiceUnavailable
 from repro.observability import telemetry_for
@@ -269,10 +269,23 @@ class JobPreparationAgent:
         """Generator: validate, package workstation files, consign.
 
         Returns the UNICORE job id assigned by the NJS.  Raises
-        :class:`~repro.ajo.errors.ValidationError` client-side and
-        surfaces server-side rejections from the failed Reply.
+        :class:`~repro.analysis.AnalysisError` (a ValidationError)
+        client-side when static analysis finds errors, and surfaces
+        server-side rejections from the failed Reply.
         """
-        validate_ajo(builder.ajo)
+        telemetry = telemetry_for(self.session.client.sim)
+        # Lint before consigning: errors block here (orders of magnitude
+        # cheaper than a rejection — or a failure — at the batch host),
+        # warnings ride along in the metrics.  The NJS re-runs the same
+        # analysis on arrival with its own knowledge of the destination.
+        report = analyze_ajo(
+            builder.ajo, AnalysisContext.for_session(self.session)
+        )
+        telemetry.metrics.counter("analysis.errors").inc(len(report.errors))
+        telemetry.metrics.counter("analysis.warnings").inc(len(report.warnings))
+        if not report.ok:
+            telemetry.metrics.counter("analysis.jobs_rejected").inc()
+            raise AnalysisError(report)
         files: dict[str, bytes] = {}
         needed = builder.workstation_files_needed()
         if needed:
@@ -297,7 +310,6 @@ class JobPreparationAgent:
             else:
                 large.append((path, content))
 
-        telemetry = telemetry_for(self.session.client.sim)
         # Root of the per-job trace: everything downstream (gateway auth,
         # NJS incarnation, batch execution) hangs off this span.
         tracer = telemetry.tracer

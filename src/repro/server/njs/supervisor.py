@@ -41,8 +41,7 @@ from repro.ajo.tasks import (
     ImportTask,
     TransferTask,
 )
-from repro.ajo.validate import validate_ajo
-from repro.ajo.errors import ValidationError
+from repro.analysis import AnalysisContext, analyze_ajo
 from repro.batch.base import BatchState, FileEffect
 from repro.batch.errors import BatchError, SystemOfflineError, UnknownJobError
 from repro.faults.errors import ServiceUnavailable
@@ -332,10 +331,13 @@ class NetworkJobSupervisor:
             dn = user_dn or ajo.user_dn
             if not dn:
                 raise ConsignError("consignment carries no user identity")
-            try:
-                validate_ajo(ajo, require_user=user_dn is None)
-            except ValidationError as err:
-                raise ConsignError(f"invalid AJO: {err}") from err
+            self._analyze_arrival(
+                ajo,
+                is_forward=parent_job_id is not None,
+                workstation_files=workstation_files,
+                trace_id=trace_id,
+                parent_span=consign_span,
+            )
             self._check_destinations(ajo, dn)
         except ConsignError as err:
             if consign_span is not None:
@@ -373,6 +375,53 @@ class NetworkJobSupervisor:
             self.sim.process(self._run_job(run), name=f"job:{job_id}")
         )
         return run
+
+    def _analyze_arrival(
+        self,
+        ajo: AbstractJobObject,
+        *,
+        is_forward: bool,
+        workstation_files: dict[str, bytes] | None,
+        trace_id: str,
+        parent_span,
+    ) -> None:
+        """Re-run the static analyzer on an arriving AJO (never trust the
+        client): errors reject the consignment with the primary diagnostic
+        code carried over the wire; warnings only count in the metrics.
+
+        Forwarded groups (``is_forward``) arrive with their staged
+        dependency files, which the analyzer treats as prestaged Uspace
+        content, and without a user DN of their own.
+        """
+        telemetry = telemetry_for(self.sim)
+        context = AnalysisContext.for_njs(
+            self,
+            prestaged=workstation_files if is_forward else None,
+        )
+        analyze_span = None
+        if trace_id:
+            analyze_span = telemetry.tracer.start_span(
+                "njs.analyze", trace_id, parent=parent_span,
+                tier="server", usite=self.usite_name, job=ajo.name,
+            )
+        report = analyze_ajo(ajo, context, require_user=not is_forward)
+        telemetry.metrics.counter("analysis.errors").inc(len(report.errors))
+        telemetry.metrics.counter("analysis.warnings").inc(len(report.warnings))
+        if analyze_span is not None:
+            analyze_span.set(
+                errors=len(report.errors), warnings=len(report.warnings)
+            )
+        if not report.ok:
+            telemetry.metrics.counter("analysis.jobs_rejected").inc()
+            err = ConsignError(f"invalid AJO: {report.summary()}")
+            # Instance attribute: the gateway reports this stable
+            # diagnostic code in Reply.error_code.
+            err.code = report.errors[0].code
+            if analyze_span is not None:
+                telemetry.tracer.end_span(analyze_span, error=err)
+            raise err
+        if analyze_span is not None:
+            telemetry.tracer.end_span(analyze_span)
 
     def _check_destinations(self, group: AbstractJobObject, dn: str) -> None:
         """Validate vsites, user mapping, and resources for local groups."""

@@ -13,10 +13,12 @@ invariants:
 * jobs are conserved (everything consigned is accounted for).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ajo import ActionStatus
+from repro.analysis import AnalysisContext, AnalysisError, analyze_ajo
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import build_grid
 
@@ -84,6 +86,21 @@ def test_any_valid_job_terminates_consistently(plan):
         final = yield from jmc.wait_for_completion(job_id)
         outcome = yield from jmc.outcome(job_id)
         return job_id, final, outcome
+
+    # The static analyzer's verdict decides the property being checked:
+    # plans with dataflow errors (ghost exports, write-write races on a
+    # shared made-file) must be rejected at submit time with a stable
+    # code; clean plans must run to a consistent terminal state.
+    report = analyze_ajo(job.ajo, AnalysisContext.for_session(session))
+    if not report.ok:
+        p = grid.sim.process(scenario(grid.sim))
+        with pytest.raises(AnalysisError) as exc_info:
+            grid.sim.run(until=p)
+        assert exc_info.value.code.startswith("AJO")
+        assert exc_info.value.report.errors
+        # Rejected client-side: nothing may have reached the NJS.
+        assert grid.usites["FZJ"].njs.job_count == 0
+        return
 
     p = grid.sim.process(scenario(grid.sim))
     job_id, final, outcome = grid.sim.run(until=p)
