@@ -16,6 +16,7 @@ runs on every push.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import typing
@@ -29,6 +30,7 @@ __all__ = [
     "single_site_session",
     "run_simple_job",
     "smoke_mode",
+    "write_bench_artifact",
     "NullBenchmark",
     "run_as_script",
 ]
@@ -37,6 +39,25 @@ __all__ = [
 def smoke_mode() -> bool:
     """True when running the fast CI smoke path."""
     return "--smoke" in sys.argv or os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
+def write_bench_artifact(name: str, payload: dict) -> str:
+    """Persist one experiment's headline numbers as ``BENCH_<name>.json``.
+
+    The file lands in ``$REPRO_BENCH_DIR`` (default: the working
+    directory) so CI can collect machine-readable results next to the
+    printed tables.  The record is tagged with the smoke flag — smoke
+    numbers are crash-gate artifacts, not publishable measurements.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    record = {"experiment": name, "smoke": smoke_mode(), **payload}
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {path}")
+    return path
 
 
 class NullBenchmark:

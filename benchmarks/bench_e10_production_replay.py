@@ -17,7 +17,7 @@ utilization from both populations.
 
 import pytest
 
-from benchmarks._util import print_table
+from benchmarks._util import print_table, write_bench_artifact
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import (
     LocalLoadGenerator,
@@ -169,3 +169,17 @@ def test_e10_two_day_replay(benchmark):
         assert stuck == 0
         assert local_n > 0
     assert sum(r[2] for r in rows) > 50
+
+    write_bench_artifact("e10", {
+        "horizon_s": HORIZON,
+        "stats": stats,
+        "sites": {
+            vsite: {
+                "local_jobs": local_n,
+                "unicore_jobs": unicore_n,
+                "utilization": util.strip(),
+                "stuck": stuck,
+            }
+            for vsite, local_n, unicore_n, util, stuck in rows
+        },
+    })

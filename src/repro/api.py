@@ -36,9 +36,10 @@ import json
 import typing
 from dataclasses import dataclass
 
+from repro.broker.errors import BrokerError, NoCapacityError
+from repro.broker.placement import ResourceBroker
 from repro.client.jmc import JobMonitorController
 from repro.client.jpa import JobBuilder, JobPreparationAgent
-from repro.ext.broker import ResourceBroker
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.errors import CircuitOpenError, ServiceUnavailable
 from repro.net.errors import ConnectionLost
@@ -49,6 +50,7 @@ from repro.resources.model import ResourceRequest
 from repro.errors import ReproError
 
 if typing.TYPE_CHECKING:
+    from repro.broker.matcher import BrokerJob
     from repro.client.browser import UnicoreSession
     from repro.grid.build import Grid, GridUser
 
@@ -102,6 +104,10 @@ class GridSession:
     #: attempts (comfortably past the breaker cooldown).
     WAIT_OUTAGE_RETRIES = 8
     WAIT_RETRY_DELAY_S = 120.0
+    #: Brokered submissions unbound after this long raise NoCapacityError.
+    BROKER_BIND_TIMEOUT_S = 48 * 3600.0
+    #: How far to advance the clock while a stolen job awaits rebinding.
+    BROKER_REBIND_WAIT_S = 30.0
 
     def __init__(
         self,
@@ -121,6 +127,9 @@ class GridSession:
         #: connected eagerly, failover sites lazily.
         self._tiers: dict[str, tuple["UnicoreSession", JobPreparationAgent,
                                      JobMonitorController]] = {}
+        #: Original job id -> live broker entry, for late-bound jobs:
+        #: after a steal the entry names the job's *current* id and site.
+        self._brokered: dict[str, "BrokerJob"] = {}
         session, _, _ = self._connect(usite)
         if breaker is None:
             breaker = CircuitBreaker(grid.sim, name=f"{self.user.name}@{usite}")
@@ -156,9 +165,24 @@ class GridSession:
     def _job_id(handle: "JobHandle | str") -> str:
         return handle.job_id if isinstance(handle, JobHandle) else handle
 
-    def _jmc_for(self, handle: "JobHandle | str") -> JobMonitorController:
+    def _resolve(self, handle: "JobHandle | str") -> tuple[str, str]:
+        """The job's *current* (job_id, usite) — work stealing moves a
+        late-bound job, and every verb must follow it."""
+        job_id = self._job_id(handle)
         usite = handle.usite if isinstance(handle, JobHandle) else self.usite
-        return self._connect(usite)[2]
+        entry = self._brokered.get(job_id)
+        if entry is not None and entry.job_id and entry.job_id != job_id:
+            return entry.job_id, entry.usite
+        return job_id, usite
+
+    def _target(
+        self, handle: "JobHandle | str"
+    ) -> tuple[JobMonitorController, str]:
+        job_id, usite = self._resolve(handle)
+        return self._connect(usite)[2], job_id
+
+    def _jmc_for(self, handle: "JobHandle | str") -> JobMonitorController:
+        return self._target(handle)[0]
 
     # -- authoring -----------------------------------------------------------
     def new_job(
@@ -182,7 +206,7 @@ class GridSession:
 
     # -- the four verbs ------------------------------------------------------
     def submit(
-        self, job: JobBuilder, workstation=None
+        self, job: JobBuilder, workstation=None, broker: bool = False
     ) -> JobHandle:
         """Consign ``job``; on timeout, fail over via the resource broker.
 
@@ -191,7 +215,16 @@ class GridSession:
         reject the same job); only transport-level failures — retry
         budget exhausted, circuit open, connection lost — trigger the
         broker.
+
+        With ``broker=True`` the job is *late-bound* instead: it enters
+        the grid's :class:`~repro.broker.service.FederationBroker` task
+        queue without a destination, and the broker binds it to a Vsite
+        (anywhere in the federation) at dispatch time from live capacity
+        advertisements, under fair-share quotas.  Over-quota submissions
+        raise :class:`~repro.broker.errors.BrokerQuotaError` immediately.
         """
+        if broker:
+            return self._submit_brokered(job, workstation)
         workstation = workstation or self.user.workstation
         ajo = job.ajo
         home_vsite, home_usite = ajo.vsite, ajo.usite
@@ -209,6 +242,48 @@ class GridSession:
                 ajo.vsite, ajo.usite = home_vsite, home_usite
                 raise
             return handle
+
+    def _submit_brokered(self, job: JobBuilder, workstation) -> JobHandle:
+        """The late-binding path: enqueue, then block until first bound.
+
+        The dispatch factory re-targets the root group to whatever
+        destination the broker picks and consigns through this session's
+        per-site tiers; those are connected eagerly here because the
+        factory runs *inside* the simulation, where the connect helper
+        (which drives ``sim.run`` itself) cannot be used.
+        """
+        federation = getattr(self.grid, "broker", None)
+        if federation is None:
+            raise BrokerError(
+                "no federation broker attached to this grid; call "
+                "repro.broker.attach_broker(grid) first"
+            )
+        workstation = workstation or self.user.workstation
+        ajo = job.ajo
+        for usite in self.grid.usites:
+            self._connect(usite)
+
+        def dispatch(usite: str, vsite: str):
+            ajo.vsite, ajo.usite = vsite, usite
+            return self._tiers[usite][1].submit(job, workstation=workstation)
+
+        entry = federation.submit(
+            self.session.user_dn,
+            ajo.name,
+            self._aggregate_request(ajo),
+            software=tuple(self._required_software(ajo)),
+            dispatch=dispatch,
+            bind_timeout_s=self.BROKER_BIND_TIMEOUT_S,
+        )
+        self.sim.run(until=entry.bound)
+        if not entry.job_id:
+            raise NoCapacityError(
+                f"broker could not place job {ajo.name!r}: "
+                f"{entry.error or 'bind timeout'}"
+            )
+        handle = self._handle_for(entry.job_id, ajo, failed_over=False)
+        self._brokered[handle.job_id] = entry
+        return handle
 
     def _handle_for(self, job_id: str, ajo, failed_over: bool) -> JobHandle:
         tracer = self._telemetry.tracer
@@ -291,9 +366,9 @@ class GridSession:
         self, handle: "JobHandle | str", allow_stale: bool = True
     ) -> JobStatusView:
         """The job's status tree; a cached view marked stale during outages."""
-        jmc = self._jmc_for(handle)
+        jmc, job_id = self._target(handle)
         tree = self._run(
-            jmc.status(self._job_id(handle), allow_stale=allow_stale),
+            jmc.status(job_id, allow_stale=allow_stale),
             name="status",
         )
         return JobStatusView.from_dict(tree)
@@ -301,12 +376,36 @@ class GridSession:
     def wait(
         self, handle: "JobHandle | str", max_polls: int = 10_000
     ) -> JobStatusView:
-        """Block until the job is terminal, riding out crash windows."""
-        tree = self._run(
-            self._wait_gen(self._jmc_for(handle), self._job_id(handle), max_polls),
-            name="wait",
-        )
-        return JobStatusView.from_dict(tree)
+        """Block until the job is terminal, riding out crash windows.
+
+        A late-bound job may be *stolen* to another Vsite mid-wait (its
+        original batch entry killed, a new consignment elsewhere); the
+        loop follows the broker entry to wherever the job currently is.
+        """
+        while True:
+            entry = self._brokered.get(self._job_id(handle))
+            if (
+                entry is not None
+                and not entry.state.is_terminal
+                and not entry.job_id
+            ):
+                # Stolen, not yet rebound: let the dispatch tick run.
+                self.advance(self.BROKER_REBIND_WAIT_S)
+                continue
+            jmc, job_id = self._target(handle)
+            tree = self._run(
+                self._wait_gen(jmc, job_id, max_polls), name="wait"
+            )
+            new_id, _ = self._resolve(handle)
+            if new_id != job_id:
+                continue  # moved while we were polling the old site
+            if (
+                entry is not None
+                and not entry.state.is_terminal
+                and not entry.job_id
+            ):
+                continue
+            return JobStatusView.from_dict(tree)
 
     def _wait_gen(self, jmc: JobMonitorController, job_id: str, max_polls: int):
         for attempt in range(self.WAIT_OUTAGE_RETRIES + 1):
@@ -321,22 +420,22 @@ class GridSession:
 
     def outcome(self, handle: "JobHandle | str"):
         """The full Outcome tree (stdout/stderr included) of a finished job."""
-        jmc = self._jmc_for(handle)
-        return self._run(jmc.outcome(self._job_id(handle)), name="outcome")
+        jmc, job_id = self._target(handle)
+        return self._run(jmc.outcome(job_id), name="outcome")
 
     def cancel(self, handle: "JobHandle | str") -> dict:
         """Abort the job wherever its parts currently are."""
-        jmc = self._jmc_for(handle)
-        return self._run(jmc.cancel(self._job_id(handle)), name="cancel")
+        jmc, job_id = self._target(handle)
+        return self._run(jmc.cancel(job_id), name="cancel")
 
     # -- the rest of the JMC, facaded for completeness -----------------------
     def hold(self, handle: "JobHandle | str") -> dict:
-        jmc = self._jmc_for(handle)
-        return self._run(jmc.hold(self._job_id(handle)), name="hold")
+        jmc, job_id = self._target(handle)
+        return self._run(jmc.hold(job_id), name="hold")
 
     def resume(self, handle: "JobHandle | str") -> dict:
-        jmc = self._jmc_for(handle)
-        return self._run(jmc.resume(self._job_id(handle)), name="resume")
+        jmc, job_id = self._target(handle)
+        return self._run(jmc.resume(job_id), name="resume")
 
     def list_jobs(self, usite: str | None = None) -> list[JobListing]:
         """The user's jobs at one Usite (default: the home site)."""
@@ -348,18 +447,18 @@ class GridSession:
         self, handle: "JobHandle | str", path: str, save_as: str | None = None
     ) -> bytes:
         """Bring one Uspace file back to the user's workstation."""
-        jmc = self._jmc_for(handle)
+        jmc, job_id = self._target(handle)
         return self._run(
             jmc.fetch_file(
-                self._job_id(handle), path,
+                job_id, path,
                 workstation=self.user.workstation, save_as=save_as,
             ),
             name="fetch",
         )
 
     def dispose(self, handle: "JobHandle | str") -> dict:
-        jmc = self._jmc_for(handle)
-        return self._run(jmc.dispose(self._job_id(handle)), name="dispose")
+        jmc, job_id = self._target(handle)
+        return self._run(jmc.dispose(job_id), name="dispose")
 
     def render(self, view: JobStatusView) -> str:
         """The JMC's colored status tree, from a typed view."""

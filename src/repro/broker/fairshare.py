@@ -1,0 +1,41 @@
+"""Fair-share policy: per-user quotas and concurrency caps.
+
+Modelled on production batch limits ("limits and fair use"): every user
+gets a default concurrency cap with per-user overrides, and optionally a
+total-submission quota.  Over-limit submissions are rejected cleanly at
+enqueue time with :class:`~repro.broker.errors.BrokerQuotaError` — they
+never enter the queue, so a greedy user cannot crowd out others.
+
+The *ordering* half of fair share lives in the matcher: at each
+dispatch tick pending jobs are served lowest-active-user first, so any
+user with remaining quota always receives the next available slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["FairSharePolicy"]
+
+
+@dataclass(frozen=True)
+class FairSharePolicy:
+    """Quota source for the task-queue broker.
+
+    ``default_max_active`` caps jobs a user may have queued-or-dispatched
+    at once; ``max_active`` holds per-user overrides.  ``max_total``
+    (optional, with ``total`` overrides) caps lifetime submissions
+    through this broker.
+    """
+
+    default_max_active: int = 100
+    max_active: Mapping[str, int] = field(default_factory=dict)
+    default_max_total: int | None = None
+    max_total: Mapping[str, int | None] = field(default_factory=dict)
+
+    def active_cap(self, user_dn: str) -> int:
+        return self.max_active.get(user_dn, self.default_max_active)
+
+    def total_cap(self, user_dn: str) -> int | None:
+        return self.max_total.get(user_dn, self.default_max_total)

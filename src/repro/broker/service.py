@@ -1,0 +1,320 @@
+"""The federation broker service: the simulation half of late binding.
+
+One :class:`FederationBroker` per grid.  It owns a network host (the
+"broker hub"), linked to every Usite's primary gateway, and runs three
+concerns on the simulation clock:
+
+* **advertisement intake** — each NJS gets a route to the hub and a
+  periodic :meth:`~repro.server.njs.supervisor.NetworkJobSupervisor.start_advertising`
+  loop; reports fold into the matcher;
+* **dispatch** — on a timer, :meth:`TaskQueueBroker.match` binds pending
+  jobs and each binding's *dispatch factory* (a caller-supplied
+  ``(usite, vsite) -> generator -> job_id``, typically closing over a
+  JPA) consigns the job through the normal client protocol;
+* **work stealing** — confirmed reclaimable jobs sitting in a
+  backlogged queue are cancelled at their site (authoritative re-check
+  there) and requeued when another feasible Vsite drains.
+
+Counters: ``broker.matches``, ``broker.steals``, ``broker.rejections``;
+``broker.queue_depth`` is observed as a histogram each dispatch tick.
+Every dispatch and steal runs under a ``broker.*`` span.
+"""
+
+from __future__ import annotations
+
+import typing
+from itertools import count
+
+from repro.broker.advertise import (
+    BROKER_PEER,
+    AdvertiseCapacity,
+    ReclaimAck,
+    ReclaimJob,
+)
+from repro.broker.errors import BrokerError
+from repro.broker.fairshare import FairSharePolicy
+from repro.broker.matcher import BrokerJob, BrokerJobState, TaskQueueBroker
+from repro.errors import ReproError
+from repro.net.errors import ConnectionLost
+from repro.observability import telemetry_for
+from repro.resources.model import ResourceRequest
+from repro.security.ssl import HANDSHAKE_ROUND_TRIPS, SSLSession
+
+if typing.TYPE_CHECKING:
+    from repro.grid.build import Grid
+
+__all__ = ["FederationBroker", "attach_broker"]
+
+_HS_BYTES = 1500
+
+#: WAN link from each gateway to the broker hub (same class of link as
+#: gateway-to-gateway traffic).
+HUB_LATENCY_S = 0.015
+HUB_BANDWIDTH_BPS = 1_250_000.0
+
+
+class FederationBroker:
+    """Central task-queue broker for one grid."""
+
+    #: A dispatch whose consignment fails this many times is FAILED.
+    MAX_ATTEMPTS = 3
+    ACK_TIMEOUT_S = 120.0
+    RETRIES = 4
+    RETRY_DELAY_S = 5.0
+
+    def __init__(
+        self,
+        grid: "Grid",
+        policy: FairSharePolicy | None = None,
+        staleness_s: float = 300.0,
+        advertise_interval_s: float = 60.0,
+        dispatch_interval_s: float = 30.0,
+        max_queued_per_vsite: int = 4,
+        min_steal_wait_s: float = 600.0,
+        host_name: str = "broker.hub",
+    ) -> None:
+        self.grid = grid
+        self.sim = grid.sim
+        self.network = grid.network
+        telemetry = telemetry_for(self.sim)
+        self.metrics = telemetry.metrics
+        self.tracer = telemetry.tracer
+        self.matcher = TaskQueueBroker(
+            policy=policy,
+            staleness_s=staleness_s,
+            max_queued_per_vsite=max_queued_per_vsite,
+            min_steal_wait_s=min_steal_wait_s,
+            metrics=self.metrics,
+        )
+        self.dispatch_interval_s = dispatch_interval_s
+        self.host = self.network.add_host(host_name)
+        #: usite -> hub-to-NJS route (reverse of the advertisement path).
+        self._routes: dict[str, list[tuple[str, str]]] = {}
+        self._sessions: set[str] = set()
+        self._corr = count(1)
+        self._pending_acks: dict[int, object] = {}
+        self._stealing: set[int] = set()
+
+        for index, name in enumerate(sorted(grid.usites)):
+            usite = grid.usites[name]
+            self.network.link(
+                host_name,
+                usite.gateway_host.name,
+                latency_s=HUB_LATENCY_S,
+                bandwidth_Bps=HUB_BANDWIDTH_BPS,
+            )
+            up = [
+                (usite.njs_host.name, usite.gateway_host.name),
+                (usite.gateway_host.name, host_name),
+            ]
+            usite.njs.register_broker_route([(a, b) for a, b in up if a != b])
+            self._routes[name] = [
+                (b, a) for a, b in reversed([(a, b) for a, b in up if a != b])
+            ]
+            # Stagger sites so their reports do not synchronise.
+            usite.njs.start_advertising(
+                interval_s=advertise_interval_s,
+                offset_s=index * advertise_interval_s / max(1, len(grid.usites)),
+            )
+        self.sim.process(self._inbox_loop(), name="broker:inbox")
+        self.sim.process(self._dispatch_loop(), name="broker:dispatch")
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        user_dn: str,
+        name: str,
+        request: ResourceRequest,
+        software: tuple[tuple[str, str], ...] = (),
+        dispatch=None,
+        bind_timeout_s: float | None = None,
+    ) -> BrokerJob:
+        """Enqueue one late-bound job.
+
+        ``dispatch(usite, vsite)`` must return a generator that consigns
+        the job at the chosen destination and returns the NJS job id; it
+        is invoked (possibly more than once, under stealing) inside the
+        simulation.  Raises quota/capacity errors synchronously — a
+        rejected job never enters the queue.
+
+        The returned entry's ``bound`` event triggers at the first
+        successful consignment (value: the job id), or with ``None`` if
+        the job failed or timed out unbound.
+        """
+        if dispatch is None:
+            raise TypeError("submit() requires a dispatch factory")
+        job = self.matcher.enqueue(
+            user_dn, name, request, software=tuple(software), now=self.sim.now
+        )
+        job.dispatch = dispatch
+        job.bound = self.sim.event(name=f"broker-bound:{job.seq}")
+        if bind_timeout_s is not None:
+            self.sim.process(self._bind_timeout(job, bind_timeout_s))
+        return job
+
+    def _bind_timeout(self, job: BrokerJob, timeout_s: float):
+        yield self.sim.any_of(
+            [job.bound, self.sim.timeout(timeout_s)]
+        )
+        if not job.bound.triggered:
+            if job.state is BrokerJobState.PENDING:
+                self.matcher.withdraw(
+                    job, error=f"not bound within {timeout_s:.0f}s"
+                )
+            if not job.bound.triggered:
+                job.bound.succeed(None)
+
+    def drain(self, jobs: list[BrokerJob], poll_s: float = 60.0):
+        """Generator: wait until every entry reaches a terminal state."""
+        while any(not j.state.is_terminal for j in jobs):
+            yield self.sim.timeout(poll_s)
+
+    # -- simulation loops ---------------------------------------------------
+    def _inbox_loop(self):
+        while True:
+            message = yield self.host.receive()
+            payload = message.payload
+            if isinstance(payload, AdvertiseCapacity):
+                self.matcher.observe(payload, now=self.sim.now)
+            elif isinstance(payload, ReclaimAck):
+                waiter = self._pending_acks.pop(payload.corr_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(payload)
+
+    def _dispatch_loop(self):
+        while True:
+            yield self.sim.timeout(self.dispatch_interval_s)
+            self.metrics.histogram("broker.queue_depth").observe(
+                float(self.matcher.queue_depth)
+            )
+            for job in self.matcher.match(self.sim.now):
+                self.sim.process(
+                    self._dispatch(job), name=f"broker-dispatch:{job.seq}"
+                )
+            for job, to_usite, to_vsite in self.matcher.steal_candidates(
+                self.sim.now
+            ):
+                if job.seq in self._stealing:
+                    continue
+                self._stealing.add(job.seq)
+                self.sim.process(
+                    self._steal(job, to_usite, to_vsite),
+                    name=f"broker-steal:{job.seq}",
+                )
+
+    def _dispatch(self, job: BrokerJob):
+        span = self.tracer.start_span(
+            "broker.dispatch",
+            self.tracer.new_trace(f"broker:{job.name}"),
+            tier="server",
+            job=job.name,
+            user=job.user_dn,
+            usite=job.usite,
+            vsite=job.vsite,
+            attempt=job.attempts,
+        )
+        try:
+            job_id = yield from job.dispatch(job.usite, job.vsite)
+        except ReproError as err:
+            self.tracer.end_span(span, error=err)
+            requeue = (
+                job.attempts < self.MAX_ATTEMPTS
+                and job.state is BrokerJobState.DISPATCHED
+            )
+            self.matcher.release(job, requeue=requeue, error=str(err))
+            if job.state is BrokerJobState.FAILED and not job.bound.triggered:
+                job.bound.succeed(None)
+            return
+        self.matcher.bind(job, job_id)
+        if not job.bound.triggered:
+            job.bound.succeed(job_id)
+        self.tracer.end_span(span.set(job_id=job_id))
+
+    def _steal(self, job: BrokerJob, to_usite: str, to_vsite: str):
+        span = self.tracer.start_span(
+            "broker.steal",
+            self.tracer.new_trace(f"steal:{job.name}"),
+            tier="server",
+            job_id=job.job_id,
+            from_vsite=job.vsite,
+            to_vsite=to_vsite,
+        )
+        corr_id = next(self._corr)
+        waiter = self.sim.event(name=f"reclaim-ack:{corr_id}")
+        self._pending_acks[corr_id] = waiter
+        message = ReclaimJob(corr_id=corr_id, job_id=job.job_id)
+        try:
+            try:
+                yield from self._routed_send(
+                    job.usite, message, message.wire_payload
+                )
+            except ConnectionLost as err:
+                self.tracer.end_span(span, error=err)
+                return
+            yield self.sim.any_of(
+                [waiter, self.sim.timeout(self.ACK_TIMEOUT_S)]
+            )
+            if not waiter.triggered:
+                self.tracer.end_span(span.set(outcome="ack-timeout"))
+                return
+            ack = typing.cast(ReclaimAck, waiter.value)
+            if not ack.ok:
+                # The job started in the meantime: leave it where it runs.
+                self.tracer.end_span(span.set(outcome="refused"))
+                return
+            if job.state is BrokerJobState.DISPATCHED:
+                self.matcher.mark_stolen(job)
+            self.tracer.end_span(span.set(outcome="stolen"))
+        finally:
+            self._pending_acks.pop(corr_id, None)
+            self._stealing.discard(job.seq)
+
+    # -- hub-side transport -------------------------------------------------
+    def _routed_send(self, usite: str, payload, size: int):
+        """Reliable routed send hub -> gateway -> NJS, mirroring the NJS
+        peer transport (first use pays the SSL handshake)."""
+        route = self._routes[usite]
+        if usite not in self._sessions:
+            for _ in range(HANDSHAKE_ROUND_TRIPS):
+                for src, dst in route:
+                    yield from self._hop(src, dst, ("hs",), _HS_BYTES, False)
+                for src, dst in [(b, a) for a, b in reversed(route)]:
+                    yield from self._hop(src, dst, ("hs-ack",), _HS_BYTES, False)
+            self._sessions.add(usite)
+        wire = SSLSession.wire_bytes(size)
+        last = len(route) - 1
+        for i, (src, dst) in enumerate(route):
+            yield from self._hop(src, dst, payload, wire, i == last)
+
+    def _hop(self, src: str, dst: str, payload, wire: int, deliver: bool):
+        last_error: Exception | None = None
+        for attempt in range(1 + self.RETRIES):
+            try:
+                yield self.network.send(
+                    src, dst, payload, wire, channel="broker", deliver=deliver
+                )
+                return
+            except ConnectionLost as err:
+                last_error = err
+                if attempt < self.RETRIES:
+                    yield self.sim.timeout(self.RETRY_DELAY_S)
+        assert last_error is not None
+        raise last_error
+
+    # -- introspection ------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        return {
+            name: int(self.metrics.counter_value(f"broker.{name}"))
+            for name in ("matches", "steals", "rejections")
+        }
+
+
+def attach_broker(grid: "Grid", **kw) -> FederationBroker:
+    """Create a :class:`FederationBroker` for ``grid`` and remember it as
+    ``grid.broker`` (the :meth:`GridSession.submit(..., broker=True)
+    <repro.api.GridSession.submit>` path looks it up there)."""
+    if getattr(grid, "broker", None) is not None:
+        raise BrokerError("grid already has a federation broker attached")
+    broker = FederationBroker(grid, **kw)
+    grid.broker = broker
+    return broker

@@ -88,14 +88,20 @@ class Browser:
         return str(self.user_cert.subject)
 
     def connect(
-        self, usite: Usite, applet_names: typing.Iterable[str] = ("JPA", "JMC")
+        self, usite: Usite, applet_names: typing.Iterable[str] = ("JPA", "JMC"),
+        gateway=None,
     ) -> typing.Generator:
         """Connect to a Usite (``yield from`` inside a process).
 
         Performs the section 4.1 sequence: mutual https authentication,
         then applet download + signature verification, then resource-page
         retrieval.  Returns a :class:`UnicoreSession`.
+
+        ``gateway`` selects one of a load-balanced Usite's gateways (any
+        :class:`~repro.server.gateway.Gateway` of that Usite); the
+        session sticks to it for its lifetime.
         """
+        gateway = gateway if gateway is not None else usite.gateway
         tracer = telemetry_for(self.sim).tracer
         session_trace = tracer.new_trace("session")
         handshake_span = tracer.start_span(
@@ -105,7 +111,7 @@ class Browser:
             self.sim,
             self.network,
             self.host.name,
-            usite.gateway_host.name,
+            gateway.host.name,
             client_cert=self.user_cert,
             client_key=self.user_key,
             server_cert=usite.server_cert,
@@ -114,7 +120,7 @@ class Browser:
             server_store=usite.cert_store,
         )
         tracer.end_span(handshake_span)
-        usite.gateway.register_channel(self.host.name, channel)
+        gateway.register_channel(self.host.name, channel)
 
         # Applets load "from the server into the Web browser only in case
         # of successful user authentication".
@@ -123,7 +129,7 @@ class Browser:
         )
         applets: dict[str, SignedApplet] = {}
         for name in applet_names:
-            applet = usite.gateway.serve_applet(name)
+            applet = gateway.serve_applet(name)
             # Download cost over the authenticated channel.
             yield channel.send(
                 ("applet", name), applet.bundle.total_size,
@@ -148,7 +154,7 @@ class Browser:
         pages_span = tracer.start_span(
             "client.resource_pages", session_trace, tier="user"
         )
-        pages_asn1 = usite.gateway.resource_pages()
+        pages_asn1 = gateway.resource_pages()
         total = sum(len(b) for b in pages_asn1.values())
         if total:
             yield channel.send(

@@ -36,6 +36,16 @@ from repro.ajo.errors import ValidationError
 from repro.analysis import AnalysisContext, AnalysisError, analyze_ajo
 from repro.client.browser import UnicoreSession
 from repro.faults.errors import ServiceUnavailable
+
+
+def _broker_error_for(code: str):
+    """The typed broker exception class for a wire-carried error code."""
+    from repro.broker.errors import BrokerError, BrokerQuotaError, NoCapacityError
+
+    for cls in (BrokerQuotaError, NoCapacityError):
+        if code == cls.code:
+            return cls
+    return BrokerError
 from repro.observability import telemetry_for
 from repro.resources.check import check_request
 from repro.resources.model import ResourceRequest
@@ -357,6 +367,11 @@ class JobPreparationAgent:
                 # The NJS is down, not the job bad: let resilient callers
                 # (GridSession failover) treat this as a transport fault.
                 raise ServiceUnavailable(f"consignment refused: {reply.error}")
+            if reply.error_code.startswith("broker."):
+                # Fair-use refusals keep their typed identity client-side.
+                raise _broker_error_for(reply.error_code)(
+                    f"consignment rejected: {reply.error}"
+                )
             raise ValidationError(f"consignment rejected: {reply.error}")
         job_id = json.loads(reply.payload)["job_id"]
         tracer.end_span(submit_span)

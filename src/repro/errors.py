@@ -49,6 +49,8 @@ __all__ = [
     "RetryExhausted",
     # faults / resilience
     "FaultError", "CircuitOpenError", "ServiceUnavailable",
+    # federation broker
+    "BrokerError", "BrokerQuotaError", "NoCapacityError",
 ]
 
 
@@ -102,6 +104,9 @@ _HOMES = {
     "FaultError": "repro.faults.errors",
     "CircuitOpenError": "repro.faults.errors",
     "ServiceUnavailable": "repro.faults.errors",
+    "BrokerError": "repro.broker.errors",
+    "BrokerQuotaError": "repro.broker.errors",
+    "NoCapacityError": "repro.broker.errors",
 }
 
 

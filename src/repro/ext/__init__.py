@@ -7,7 +7,8 @@ reproduced architecture and live here:
   in a way that they can specify the needed resources on a more abstract
   level and the broker finds the appropriate execution server for it.
   Together with accounting functions and load information the resource
-  broker can find the best system";
+  broker can find the best system" (now a deprecation shim: the broker
+  grew into the federated :mod:`repro.broker` subsystem);
 - :mod:`repro.ext.accounting` — those accounting functions;
 - :mod:`repro.ext.appinterfaces` — "application specific interfaces for
   standard packages like Ansys or Pamcrash";
@@ -20,7 +21,6 @@ which the architecture excludes by design.)
 """
 
 from repro.ext.accounting import AccountingLog, UsageRecord
-from repro.ext.broker import BrokerDecision, ResourceBroker
 from repro.ext.appinterfaces import ApplicationTemplate, STANDARD_PACKAGES
 from repro.ext.coallocation import CoAllocationResult, CoAllocator
 
@@ -34,3 +34,15 @@ __all__ = [
     "STANDARD_PACKAGES",
     "UsageRecord",
 ]
+
+
+def __getattr__(name: str):
+    # Broker names resolve lazily through the repro.ext.broker shim, so
+    # the deprecation warning fires on use, not on package import.
+    if name in ("BrokerDecision", "ResourceBroker"):
+        from repro.ext import broker as _broker_shim
+
+        value = getattr(_broker_shim, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,151 +1,39 @@
-"""The resource broker of section 6.
+"""Deprecated home of the section-6 resource broker.
 
-"A resource broker which supports the users in a way that they can
-specify the needed resources on a more abstract level and the broker
-finds the appropriate execution server for it.  Together with accounting
-functions and load information the resource broker can find the best
-system for an application with given time constraints."
-
-The broker ranks candidate Vsites by *estimated turnaround*:
-
-    est_wait (from live queue load) + est_runtime (scaled by the
-    machine's speed factor) [+ cost tie-breaking]
-
-It only uses information legitimately available to the middleware —
-resource pages, queue depths from query calls, and its own accounting —
-never any influence over site scheduling (site autonomy preserved).
+The one-shot placement broker moved to :mod:`repro.broker.placement`
+when the federated scheduling tier (:mod:`repro.broker`) was built
+around it.  This module is a thin PEP 562 shim (the same pattern as
+:mod:`repro.core`): every historical name still resolves, but the first
+access emits a :class:`DeprecationWarning` pointing at the new home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.batch.base import BatchState
-from repro.resources.check import check_request
-from repro.resources.model import ResourceRequest
-from repro.server.vsite import Vsite
+import importlib
+import warnings
 
 __all__ = ["BrokerDecision", "ResourceBroker"]
 
+_HOME = "repro.broker.placement"
 
-@dataclass(frozen=True, slots=True)
-class BrokerDecision:
-    """One ranked candidate."""
-
-    usite: str
-    vsite: str
-    estimated_wait_s: float
-    estimated_runtime_s: float
-    cost_rate: float
-
-    @property
-    def estimated_turnaround_s(self) -> float:
-        return self.estimated_wait_s + self.estimated_runtime_s
+_warned: set[str] = set()
 
 
-class ResourceBroker:
-    """Chooses the destination Vsite for an abstract resource request."""
-
-    def __init__(
-        self,
-        vsites: dict[str, tuple[str, Vsite]],
-        cost_per_cpu_hour: dict[str, float] | None = None,
-    ) -> None:
-        """``vsites`` maps vsite name → (usite name, Vsite)."""
-        self._vsites = dict(vsites)
-        self._cost = dict(cost_per_cpu_hour or {})
-
-    @classmethod
-    def for_grid(cls, grid, **kw) -> "ResourceBroker":
-        """Build from a :class:`~repro.grid.build.Grid`."""
-        vsites = {
-            vname: (uname, vsite)
-            for uname, usite in grid.usites.items()
-            for vname, vsite in usite.vsites.items()
-        }
-        return cls(vsites, **kw)
-
-    # -- load estimation ----------------------------------------------------
-    @staticmethod
-    def _estimated_wait(vsite: Vsite, request: ResourceRequest) -> float:
-        """Backlog-based wait estimate from observable queue state.
-
-        Sum of (cpus x remaining-limit) over queued and running jobs,
-        divided by machine capacity: the classic backlog heuristic.  The
-        paper notes UNICORE "can neither estimate the turnaround time for
-        a job nor influence the scheduling" — the broker can only
-        *estimate from outside*, which is exactly what this does.
-        """
-        backlog_cpu_s = 0.0
-        now = vsite.sim.now
-        for record in vsite.batch.all_records():
-            if record.state is BatchState.QUEUED:
-                backlog_cpu_s += (
-                    record.spec.resources.cpus * record.spec.resources.time_s
-                )
-            elif record.state is BatchState.RUNNING:
-                elapsed = now - (record.start_time or now)
-                remaining = max(0.0, record.spec.resources.time_s - elapsed)
-                backlog_cpu_s += record.spec.resources.cpus * remaining
-        return backlog_cpu_s / vsite.machine.cpus
-
-    def candidates(
-        self,
-        request: ResourceRequest,
-        required_software: list[tuple[str, str]] | None = None,
-        baseline_runtime_s: float | None = None,
-    ) -> list[BrokerDecision]:
-        """All feasible Vsites, ranked by estimated turnaround."""
-        runtime = (
-            baseline_runtime_s
-            if baseline_runtime_s is not None
-            else request.time_s * 0.5
+def __getattr__(name: str):
+    if name not in __all__:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.ext.broker.{name} is deprecated; import it from "
+            f"{_HOME} (or use the federated repro.broker tier)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        out: list[BrokerDecision] = []
-        for vname, (uname, vsite) in self._vsites.items():
-            result = check_request(
-                vsite.resource_page, request, required_software
-            )
-            if not result.ok:
-                continue
-            out.append(
-                BrokerDecision(
-                    usite=uname,
-                    vsite=vname,
-                    estimated_wait_s=self._estimated_wait(vsite, request),
-                    estimated_runtime_s=runtime / vsite.machine.speed_factor,
-                    cost_rate=self._cost.get(vname, 1.0),
-                )
-            )
-        out.sort(key=lambda d: (d.estimated_turnaround_s, d.cost_rate, d.vsite))
-        return out
+    value = getattr(importlib.import_module(_HOME), name)
+    globals()[name] = value  # warn once, then resolve at module speed
+    return value
 
-    def choose(
-        self,
-        request: ResourceRequest,
-        required_software: list[tuple[str, str]] | None = None,
-        baseline_runtime_s: float | None = None,
-        deadline_s: float | None = None,
-    ) -> BrokerDecision:
-        """The best feasible Vsite; raises ``LookupError`` if none fits.
 
-        With ``deadline_s``, only candidates whose estimated turnaround
-        meets the deadline are considered ("an application with given
-        time constraints"); among those the *cheapest* wins.
-        """
-        ranked = self.candidates(request, required_software, baseline_runtime_s)
-        if not ranked:
-            raise LookupError(
-                "no Vsite satisfies the request "
-                f"(cpus={request.cpus}, software={required_software})"
-            )
-        if deadline_s is not None:
-            meeting = [d for d in ranked if d.estimated_turnaround_s <= deadline_s]
-            if not meeting:
-                raise LookupError(
-                    f"no Vsite can meet the {deadline_s}s deadline; best "
-                    f"estimate is {ranked[0].estimated_turnaround_s:.0f}s on "
-                    f"{ranked[0].vsite}"
-                )
-            return min(meeting, key=lambda d: (d.cost_rate, d.estimated_turnaround_s))
-        return ranked[0]
+def __dir__() -> list[str]:
+    return sorted(__all__)

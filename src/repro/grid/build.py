@@ -63,6 +63,10 @@ class Grid:
         self.users: dict[str, GridUser] = {}
         self.applets: dict[str, SignedApplet] = {}
         self._user_seq = 0
+        #: Round-robin position per Usite for gateway load balancing.
+        self._gateway_rr: dict[str, int] = {}
+        #: Set by :func:`repro.broker.service.attach_broker`.
+        self.broker = None
 
     # -- construction --------------------------------------------------------
     def add_usite(self, name: str, machine_names: list[str], **usite_kw) -> Usite:
@@ -116,12 +120,15 @@ class Grid:
         host_name = f"ws{self._user_seq}.{cn.split()[0].lower()}"
         self.network.add_host(host_name)
         for usite_name in home_sites or self.usites:
-            self.network.link(
-                host_name,
-                self.usites[usite_name].gateway_host.name,
-                latency_s=ACCESS_LATENCY_S,
-                bandwidth_Bps=ACCESS_BANDWIDTH_BPS,
-            )
+            # One access line per gateway host, so a load-balanced Usite
+            # is reachable through any of its gateways.
+            for gw_host in self.usites[usite_name].gateway_hosts:
+                self.network.link(
+                    host_name,
+                    gw_host.name,
+                    latency_s=ACCESS_LATENCY_S,
+                    bandwidth_Bps=ACCESS_BANDWIDTH_BPS,
+                )
         workstation = Workstation(str(dn))
         browser = Browser(
             self.sim,
@@ -138,11 +145,19 @@ class Grid:
 
     # -- convenience -------------------------------------------------------------
     def connect_user(
-        self, user: GridUser, usite_name: str
+        self, user: GridUser, usite_name: str, gateway: int | None = None
     ) -> UnicoreSession:
-        """Run the browser-connect process to completion (setup helper)."""
+        """Run the browser-connect process to completion (setup helper).
+
+        On a multi-gateway Usite, sessions are spread round-robin over
+        the gateways unless ``gateway`` pins a specific index.
+        """
+        usite = self.usites[usite_name]
+        if gateway is None:
+            gateway = self._gateway_rr.get(usite_name, 0)
+            self._gateway_rr[usite_name] = (gateway + 1) % len(usite.gateways)
         proc = self.sim.process(
-            user.browser.connect(self.usites[usite_name]),
+            user.browser.connect(usite, gateway=usite.gateways[gateway]),
             name=f"connect:{user.name}@{usite_name}",
         )
         return typing.cast(UnicoreSession, self.sim.run(until=proc))
@@ -178,15 +193,26 @@ def build_grid(
     wan_bandwidth_Bps: float = WAN_BANDWIDTH_BPS,
     wan_loss: float = 0.0,
     key_bits: int = 384,
+    gateways: int | dict[str, int] = 1,
+    max_active_per_user: int | None = None,
 ) -> Grid:
-    """Build a grid with the given ``{usite: [machine names]}`` layout."""
+    """Build a grid with the given ``{usite: [machine names]}`` layout.
+
+    ``gateways`` deploys that many load-balanced gateways per Usite
+    (or per-site counts as a ``{usite: n}`` mapping).
+    ``max_active_per_user`` sets every site's fair-use concurrency cap.
+    """
     sim = Simulator()
     network = Network(sim, seed=seed)
     ca = CertificateAuthority(key_bits=key_bits, seed=seed)
     grid = Grid(sim, network, ca)
     grid.applets.update(_build_applets(ca))
     for name, machines in sites.items():
-        grid.add_usite(name, machines)
+        count = gateways.get(name, 1) if isinstance(gateways, dict) else gateways
+        grid.add_usite(
+            name, machines, gateway_count=count,
+            max_active_per_user=max_active_per_user,
+        )
     grid.connect_all(
         latency_s=wan_latency_s,
         bandwidth_Bps=wan_bandwidth_Bps,

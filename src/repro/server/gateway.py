@@ -305,13 +305,14 @@ class Gateway:
             except ConnectionLost:
                 pass
 
+        from repro.broker.errors import BrokerError
         from repro.faults.errors import ServiceUnavailable
 
         try:
             reply = self._dispatch(request, parent_span=request_span)
         except (
             ConsignError, UnknownUnicoreJobError, SerializationError,
-            ServerError, ServiceUnavailable,
+            ServerError, ServiceUnavailable, BrokerError,
         ) as err:
             reply = Reply(
                 request_id=request.request_id, ok=False, error=str(err),

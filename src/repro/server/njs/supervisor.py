@@ -44,6 +44,14 @@ from repro.ajo.tasks import (
 from repro.analysis import AnalysisContext, analyze_ajo
 from repro.batch.base import BatchState, FileEffect
 from repro.batch.errors import BatchError, SystemOfflineError, UnknownJobError
+from repro.broker.advertise import (
+    BROKER_PEER,
+    AdvertiseCapacity,
+    CapacityAdvertisement,
+    ReclaimAck,
+    ReclaimJob,
+)
+from repro.broker.errors import BrokerQuotaError
 from repro.faults.errors import ServiceUnavailable
 from repro.net.errors import ConnectionLost
 from repro.net.stream import FrameType, StreamSender, encode_frame
@@ -221,6 +229,7 @@ class NetworkJobSupervisor:
         per_record_cpu_s: float = 0.002,
         own_inbox: bool = True,
         accounting=None,
+        max_active_per_user: int | None = None,
     ) -> None:
         self.sim = sim
         self.usite_name = usite_name
@@ -265,6 +274,14 @@ class NetworkJobSupervisor:
         #: peer Usite -> (route hops, handshake_done flag).
         self._peer_routes: dict[str, list[tuple[str, str]]] = {}
         self._peer_sessions: set[str] = set()
+        #: Site-local concurrency cap: a consignment from a user who
+        #: already has this many live jobs here is refused with the
+        #: wire-carried ``broker.quota_exceeded`` code (fair use,
+        #: enforced at the site edge — defense in depth under brokering).
+        self.max_active_per_user = max_active_per_user
+        #: Route to the federation broker hub, when one is attached.
+        self._broker_route: list[tuple[str, str]] | None = None
+        self._advertising = False
         #: Write-ahead journal (models durable site storage): survives
         #: :meth:`crash`, drives :meth:`restart`'s replay.
         self.journal = JobJournal()
@@ -288,6 +305,14 @@ class NetworkJobSupervisor:
     def register_peer(self, usite: str, route: list[tuple[str, str]]) -> None:
         """Register the https route (host hops) to a peer Usite's NJS."""
         self._peer_routes[usite] = list(route)
+
+    def register_broker_route(self, route: list[tuple[str, str]]) -> None:
+        """Register the https route to the federation broker hub.
+
+        Kept out of :attr:`_peer_routes` so the pseudo-peer never passes
+        AJO destination validation as a consignable Usite.
+        """
+        self._broker_route = list(route)
 
     # ------------------------------------------------------------ consign
     def consign(
@@ -331,6 +356,24 @@ class NetworkJobSupervisor:
             dn = user_dn or ajo.user_dn
             if not dn:
                 raise ConsignError("consignment carries no user identity")
+            if (
+                self.max_active_per_user is not None
+                and not is_replay
+                and parent_job_id is None
+            ):
+                active = sum(
+                    1
+                    for run in self._runs.values()
+                    if run.user_dn == dn and not run.status().is_terminal
+                )
+                if active >= self.max_active_per_user:
+                    telemetry_for(self.sim).metrics.counter(
+                        "broker.rejections"
+                    ).inc()
+                    raise BrokerQuotaError(
+                        f"{self.usite_name}: user {dn!r} already has "
+                        f"{active} live jobs (cap {self.max_active_per_user})"
+                    )
             self._analyze_arrival(
                 ajo,
                 is_forward=parent_job_id is not None,
@@ -339,7 +382,7 @@ class NetworkJobSupervisor:
                 parent_span=consign_span,
             )
             self._check_destinations(ajo, dn)
-        except ConsignError as err:
+        except (ConsignError, BrokerQuotaError) as err:
             if consign_span is not None:
                 tracer.end_span(consign_span, error=err)
             raise
@@ -1082,7 +1125,11 @@ class NetworkJobSupervisor:
         after that :class:`ConnectionLost` propagates to the caller,
         which fails the affected action.
         """
-        route = self._peer_routes[usite]
+        if usite == BROKER_PEER:
+            assert self._broker_route is not None, "no broker route registered"
+            route = self._broker_route
+        else:
+            route = self._peer_routes[usite]
         if usite not in self._peer_sessions:
             for _ in range(HANDSHAKE_ROUND_TRIPS):
                 for src, dst in route:
@@ -1135,7 +1182,7 @@ class NetworkJobSupervisor:
         """Handle one NJS-to-NJS message; returns True if it was ours."""
         if self.crashed and isinstance(
             payload, (ForwardGroup, GroupResult, TransferFile, TransferAck,
-                      CancelGroup, PeerFrame)
+                      CancelGroup, PeerFrame, ReclaimJob)
         ):
             # A dead process reads nothing: the message is simply lost
             # (senders retry or fail their action, as with a lost frame).
@@ -1152,6 +1199,8 @@ class NetworkJobSupervisor:
             self.sim.process(self._handle_transfer(payload))
         elif isinstance(payload, CancelGroup):
             self._handle_cancel_group(payload)
+        elif isinstance(payload, ReclaimJob):
+            self.sim.process(self._handle_reclaim(payload))
         elif isinstance(payload, (GroupResult, TransferAck)):
             waiter = self._pending.pop(payload.corr_id, None)
             if waiter is not None:
@@ -1627,6 +1676,134 @@ class NetworkJobSupervisor:
             yield from self._send_via_route(usite, message, size)
         except ConnectionLost:
             pass  # fire-and-forget (cancellation is best-effort)
+
+    # -------------------------------------------------- federation broker
+    def build_advertisement(self) -> AdvertiseCapacity:
+        """Snapshot this site's advertisable state for the broker.
+
+        Everything here is legitimately middleware-visible: batch record
+        queries, the published resource pages, and this NJS's own run
+        table.  Site autonomy holds — the broker learns load, it never
+        steers local scheduling.
+        """
+        now = self.sim.now
+        ads = []
+        for name in sorted(self.vsites):
+            vsite = self.vsites[name]
+            backlog = 0.0
+            queued = running = busy_cpus = 0
+            for record in vsite.batch.all_records():
+                if record.state is BatchState.QUEUED:
+                    queued += 1
+                    backlog += (
+                        record.spec.resources.cpus * record.spec.resources.time_s
+                    )
+                elif record.state is BatchState.RUNNING:
+                    running += 1
+                    busy_cpus += record.spec.resources.cpus
+                    elapsed = now - (record.start_time or now)
+                    backlog += record.spec.resources.cpus * max(
+                        0.0, record.spec.resources.time_s - elapsed
+                    )
+            ads.append(CapacityAdvertisement(
+                usite=self.usite_name,
+                vsite=name,
+                sent_at=now,
+                total_cpus=vsite.machine.cpus,
+                free_cpus=max(0, vsite.machine.cpus - busy_cpus),
+                queued_jobs=queued,
+                running_jobs=running,
+                backlog_cpu_s=backlog,
+                speed_factor=vsite.machine.speed_factor,
+                page=vsite.resource_page,
+            ))
+        terminal = tuple(sorted(
+            job_id
+            for job_id, run in self._runs.items()
+            if run.status().is_terminal
+        ))
+        return AdvertiseCapacity(
+            usite=self.usite_name,
+            sent_at=now,
+            vsites=tuple(ads),
+            reclaimable=tuple(self.reclaimable_job_ids()),
+            terminal=terminal,
+        )
+
+    def reclaimable_job_ids(self) -> list[str]:
+        """Jobs the broker may steal: consigned here, every submitted
+        batch record still QUEUED, nothing started or cancelled."""
+        out = []
+        for job_id in sorted(self._runs):
+            run = self._runs[job_id]
+            if run.cancelled or run.held or run.status().is_terminal:
+                continue
+            if not run.batch_jobs:
+                continue
+            still_queued = True
+            for vsite_name, local_id in run.batch_jobs.values():
+                vsite = self.vsites.get(vsite_name)
+                if vsite is None:
+                    still_queued = False
+                    break
+                try:
+                    record = vsite.batch.query(local_id)
+                except (BatchError, UnknownJobError):
+                    still_queued = False
+                    break
+                if record.state is not BatchState.QUEUED:
+                    still_queued = False
+                    break
+            if still_queued:
+                out.append(job_id)
+        return out
+
+    def start_advertising(
+        self, interval_s: float = 60.0, offset_s: float = 0.0
+    ) -> None:
+        """Begin periodic capacity advertisements to the broker hub."""
+        if self._advertising:
+            return
+        self._advertising = True
+        self.sim.process(
+            self._advertise_loop(interval_s, offset_s),
+            name=f"advertise:{self.usite_name}",
+        )
+
+    def _advertise_loop(self, interval_s: float, offset_s: float):
+        if offset_s:
+            yield self.sim.timeout(offset_s)
+        while True:
+            if not self.crashed and self._broker_route is not None:
+                message = self.build_advertisement()
+                try:
+                    yield from self._send_via_route(
+                        BROKER_PEER, message, message.wire_payload
+                    )
+                    telemetry_for(self.sim).metrics.counter(
+                        "njs.advertisements"
+                    ).inc()
+                except ConnectionLost:
+                    pass  # the next interval's report supersedes this one
+            yield self.sim.timeout(interval_s)
+
+    def _handle_reclaim(self, message: ReclaimJob):
+        """Steal endpoint: cancel the job iff it still has not started.
+
+        The broker acts on advertised (stale) state; this re-check
+        against live batch records is the authoritative one.
+        """
+        ok = message.job_id in self.reclaimable_job_ids()
+        if ok:
+            self.cancel(message.job_id)
+            telemetry_for(self.sim).metrics.counter("njs.reclaimed_jobs").inc()
+        ack = ReclaimAck(corr_id=message.corr_id, ok=ok)
+        try:
+            yield from self._send_via_route(
+                BROKER_PEER, ack, ack.wire_payload
+            )
+        except ConnectionLost:
+            pass  # the broker's ack timeout leaves the job where it is
 
     @property
     def job_count(self) -> int:

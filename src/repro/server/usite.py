@@ -42,10 +42,19 @@ class Usite:
         applets: dict[str, SignedApplet] | None = None,
         schedulers: dict[str, object] | None = None,
         firewall_split: bool = True,
+        gateway_count: int = 1,
+        max_active_per_user: int | None = None,
     ) -> None:
         """``firewall_split`` separates the web server (on the firewall
         host) from the NJS (inside), joined by the section 5.2 IP socket;
         with ``False`` both run on one host (the no-firewall deployment).
+
+        ``gateway_count`` > 1 deploys additional gateways on their own
+        hosts, all fronting the same NJS — the production pattern of
+        load-balancing one Usite behind several web servers.  Peer and
+        WAN wiring stays on the primary (``self.gateway``).
+        ``max_active_per_user`` is the site-local fair-use concurrency
+        cap enforced at consign time.
         """
         self.sim = sim
         self.network = network
@@ -62,6 +71,17 @@ class Usite:
             )
         else:
             self.njs_host = self.gateway_host
+        #: All gateway hosts, primary first.
+        self.gateway_hosts = [self.gateway_host]
+        for i in range(1, gateway_count):
+            extra = network.add_host(f"{name}.gw{i}")
+            network.link(
+                extra.name,
+                self.njs_host.name,
+                latency_s=INTERNAL_LATENCY_S,
+                bandwidth_Bps=INTERNAL_BANDWIDTH_BPS,
+            )
+            self.gateway_hosts.append(extra)
 
         self.xspace = Xspace(name)
         self.uudb = UUDB(name)
@@ -93,17 +113,24 @@ class Usite:
             vsites=self.vsites,
             own_inbox=firewall_split,
             accounting=self.accounting,
+            max_active_per_user=max_active_per_user,
         )
-        self.gateway = Gateway(
-            sim=sim,
-            usite_name=name,
-            host=self.gateway_host,
-            network=network,
-            cert_store=self.cert_store,
-            uudb=self.uudb,
-            njs=self.njs,
-            applets=applets,
-        )
+        #: All gateways (one per gateway host), sharing the NJS, UUDB,
+        #: and certificate store; ``self.gateway`` is the primary.
+        self.gateways = [
+            Gateway(
+                sim=sim,
+                usite_name=name,
+                host=host,
+                network=network,
+                cert_store=self.cert_store,
+                uudb=self.uudb,
+                njs=self.njs,
+                applets=applets,
+            )
+            for host in self.gateway_hosts
+        ]
+        self.gateway = self.gateways[0]
 
     # -- administration -----------------------------------------------------
     def add_user(
