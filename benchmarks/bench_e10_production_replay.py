@@ -5,19 +5,41 @@ Paper evidence: "UNICORE is running at different German sites including
 Fujitsu VPP/700, IBM SP-2, and NEC SX-4."
 
 Setup: the full six-site grid; three users with different home sites
-submit mixed UNICORE workloads (single-site jobs plus cross-site
-pipelines) while every machine also carries its own local load, for two
-simulated days.
+each run ``--jobs N`` concurrent submission streams of mixed UNICORE
+workloads (single-site jobs plus cross-site pipelines) while every
+machine also carries its own local load, for two simulated days.
 
 Expected shape: the system sustains the offered load with zero lost
 jobs — every consigned job reaches a terminal state, job-state
 accounting is consistent across tiers, and every site shows nonzero
 utilization from both populations.
+
+Beyond the correctness gate, this is the repo's *hot-path throughput*
+benchmark: the artifact records simulator events per job, wire bytes
+per job, and wall seconds per job so the perf trajectory is comparable
+run over run (see ``benchmarks/compare_bench.py``).  ``--legacy-wait``
+forces the paper's original bounded-poll monitoring (the pre-delta,
+pre-subscription behavior) — that is what the committed baseline was
+measured with; the default path uses completion-event subscriptions.
+
+Run directly for the CI smoke gate or for measurements:
+
+    python -m benchmarks.bench_e10_production_replay --smoke
+    python -m benchmarks.bench_e10_production_replay --jobs 10
+    python -m benchmarks.bench_e10_production_replay --jobs 10 --legacy-wait
 """
+
+import sys
+import time
 
 import pytest
 
-from benchmarks._util import print_table, write_bench_artifact
+from benchmarks._util import (
+    print_table,
+    run_as_script,
+    smoke_mode,
+    write_bench_artifact,
+)
 from repro.client import JobMonitorController, JobPreparationAgent
 from repro.grid import (
     LocalLoadGenerator,
@@ -25,17 +47,42 @@ from repro.grid import (
     build_german_grid,
     synth_job,
 )
+from repro.observability import telemetry_for
 from repro.resources import ResourceRequest
 from repro.simkernel import derive_rng
 
 HORIZON = 2 * 24 * 3600.0
+SMOKE_HORIZON = 6 * 3600.0
 VSITES = {
     "FZJ": "FZJ-T3E", "RUS": "RUS-T3E", "RUKA": "RUKA-SP2",
     "ZIB": "ZIB-SP2", "LRZ": "LRZ-VPP", "DWD": "DWD-SX4",
 }
+#: Counters worth tracking run over run (all land in the artifact).
+TRACKED_COUNTERS = (
+    "njs.index.hits",
+    "njs.index.rebuilds",
+    "njs.incarnation_cache.hits",
+    "njs.incarnation_cache.misses",
+    "jmc.delta_views",
+    "gateway.subscribe_holds",
+    "protocol.requests_sent",
+    "protocol.retries",
+)
 
 
-def _replay():
+def _streams_arg(default: int = 1) -> int:
+    """The ``--jobs N`` scale factor (streams per user)."""
+    argv = sys.argv
+    for i, arg in enumerate(argv):
+        if arg == "--jobs" and i + 1 < len(argv):
+            return max(1, int(argv[i + 1]))
+        if arg.startswith("--jobs="):
+            return max(1, int(arg.split("=", 1)[1]))
+    return default
+
+
+def _replay(scale: int = 1, legacy_wait: bool = False,
+            horizon: float = HORIZON):
     grid = build_german_grid(seed=10)
     logins = {s: "prod" for s in grid.usites}
     users = [
@@ -55,7 +102,7 @@ def _replay():
             derive_rng(10, f"local:{site}"),
             arrival_rate_per_s=1 / 1800.0,
             profile=WorkloadProfile(mean_runtime_s=5400.0, max_cpus=32),
-            horizon_s=HORIZON,
+            horizon_s=horizon,
         )
 
     stats = {"submitted": 0, "terminal": 0, "successful": 0, "rejected": 0}
@@ -70,11 +117,10 @@ def _replay():
         session = sessions[(user.name, home_site)]
         jpa = JobPreparationAgent(session)
         jmc = JobMonitorController(session)
-        session.client.poll_interval_s = 300.0
         i = 0
-        while grid.sim.now < HORIZON:
+        while grid.sim.now < horizon:
             yield grid.sim.timeout(float(rng.exponential(3000.0)))
-            if grid.sim.now >= HORIZON:
+            if grid.sim.now >= horizon:
                 break
             i += 1
             roll = rng.random()
@@ -109,7 +155,9 @@ def _replay():
             except Exception:
                 stats["rejected"] += 1
                 continue
-            final = yield from jmc.wait_for_completion(job_id)
+            final = yield from jmc.wait_for_completion(
+                job_id, subscribe=not legacy_wait
+            )
             stats["terminal"] += 1
             if final["status"] == "successful":
                 stats["successful"] += 1
@@ -117,20 +165,24 @@ def _replay():
     for i, (user, home) in enumerate(
         zip(users, ("FZJ", "ZIB", "DWD"))
     ):
-        grid.sim.process(user_stream(user, home, f"user{i}"))
+        for stream in range(scale):
+            grid.sim.process(user_stream(user, home, f"user{i}.{stream}"))
 
-    grid.sim.run(until=HORIZON + 12 * 3600.0)  # drain period
-    # Let remaining polls finish.
+    grid.sim.run(until=horizon + 12 * 3600.0)  # drain period
+    # Let remaining waits finish.
     grid.sim.run()
     return grid, stats
 
 
-@pytest.mark.benchmark(group="E10-production-replay")
-def test_e10_two_day_replay(benchmark):
+def _run_replay(benchmark, scale: int, legacy_wait: bool, horizon: float):
     holder = {}
 
     def run():
-        holder["grid"], holder["stats"] = _replay()
+        started = time.perf_counter()
+        holder["grid"], holder["stats"] = _replay(
+            scale=scale, legacy_wait=legacy_wait, horizon=horizon
+        )
+        holder["wall_s"] = time.perf_counter() - started
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     grid, stats = holder["grid"], holder["stats"]
@@ -147,7 +199,8 @@ def test_e10_two_day_replay(benchmark):
             f"{batch.utilization():6.1%}", len(nonterminal),
         ))
     print_table(
-        "E10: two-day production replay, six sites",
+        f"E10: production replay, six sites "
+        f"(scale={scale}, {'poll' if legacy_wait else 'subscribe'} wait)",
         ["vsite", "local jobs", "unicore jobs", "utilization", "stuck"],
         rows,
     )
@@ -157,7 +210,8 @@ def test_e10_two_day_replay(benchmark):
           f"{stats['rejected']} rejected at submission")
 
     # No lost jobs: everything submitted reached a terminal state.
-    assert stats["submitted"] > 50
+    min_submitted = (2 if smoke_mode() else 25) * scale
+    assert stats["submitted"] > min_submitted
     assert stats["terminal"] == stats["submitted"]
     assert stats["successful"] >= 0.9 * stats["terminal"]
     # NJS-side accounting agrees: every run at every site terminal.
@@ -168,11 +222,33 @@ def test_e10_two_day_replay(benchmark):
     for _, local_n, unicore_n, _, stuck in rows:
         assert stuck == 0
         assert local_n > 0
-    assert sum(r[2] for r in rows) > 50
+    assert sum(r[2] for r in rows) > min_submitted
+
+    profile = grid.sim.profile()
+    jobs = max(1, stats["submitted"])
+    metrics = telemetry_for(grid.sim).metrics
+    throughput = {
+        "jobs": stats["submitted"],
+        "events_per_job": profile["events_processed"] / jobs,
+        "wire_bytes_per_job": grid.network.total_bytes_sent() / jobs,
+        "wall_s_per_job": holder["wall_s"] / jobs,
+    }
+    print(
+        f"  throughput: {throughput['events_per_job']:.0f} events/job, "
+        f"{throughput['wire_bytes_per_job']:.0f} wire bytes/job, "
+        f"{throughput['wall_s_per_job'] * 1000:.1f} wall ms/job"
+    )
 
     write_bench_artifact("e10", {
-        "horizon_s": HORIZON,
+        "horizon_s": horizon,
+        "scale": scale,
+        "legacy_wait": legacy_wait,
         "stats": stats,
+        "throughput": throughput,
+        "sim_profile": profile,
+        "counters": {
+            name: metrics.counter_value(name) for name in TRACKED_COUNTERS
+        },
         "sites": {
             vsite: {
                 "local_jobs": local_n,
@@ -183,3 +259,25 @@ def test_e10_two_day_replay(benchmark):
             for vsite, local_n, unicore_n, util, stuck in rows
         },
     })
+
+
+@pytest.mark.benchmark(group="E10-production-replay")
+def test_e10_two_day_replay(benchmark):
+    if smoke_mode():
+        _run_replay(
+            benchmark,
+            scale=_streams_arg(1),
+            legacy_wait="--legacy-wait" in sys.argv,
+            horizon=SMOKE_HORIZON,
+        )
+    else:
+        _run_replay(
+            benchmark,
+            scale=_streams_arg(1),
+            legacy_wait="--legacy-wait" in sys.argv,
+            horizon=HORIZON,
+        )
+
+
+if __name__ == "__main__":
+    run_as_script(test_e10_two_day_replay)

@@ -60,9 +60,33 @@ class ControlService(AbstractService):
 
 
 class ListService(AbstractService):
-    """List the requesting user's UNICORE jobs known to this NJS."""
+    """List the requesting user's UNICORE jobs known to this NJS.
+
+    ``since_seq``/``epoch`` carry the client's delta cursor: a server
+    with a change-log answers with only the listings that changed after
+    ``since_seq`` (within the same log ``epoch``).  The defaults (-1)
+    request a full listing, which is also what pre-delta servers send.
+    """
 
     type_tag = "list"
+
+    def __init__(
+        self,
+        name: str,
+        since_seq: int = -1,
+        epoch: int = -1,
+        action_id: str | None = None,
+    ) -> None:
+        super().__init__(name, action_id=action_id)
+        self.since_seq = int(since_seq)
+        self.epoch = int(epoch)
+
+    def to_payload(self) -> dict[str, typing.Any]:
+        payload = super().to_payload()
+        if self.since_seq >= 0:
+            payload["since_seq"] = self.since_seq
+            payload["epoch"] = self.epoch
+        return payload
 
 
 class QueryService(AbstractService):
@@ -84,6 +108,8 @@ class QueryService(AbstractService):
         name: str,
         target_job_id: str,
         detail: str = DETAIL_TASKS,
+        subscribe: bool = False,
+        hold_s: float = 0.0,
         action_id: str | None = None,
     ) -> None:
         super().__init__(name, action_id=action_id)
@@ -91,11 +117,24 @@ class QueryService(AbstractService):
             raise ValidationError("QueryService requires a target job id")
         if detail not in self._DETAILS:
             raise ValidationError(f"unknown detail level {detail!r}")
+        if hold_s < 0:
+            raise ValidationError("QueryService hold_s must be >= 0")
         self.target_job_id = target_job_id
         self.detail = detail
+        #: Completion-event subscription: the server parks the request
+        #: until the job reaches a terminal state (or ``hold_s`` elapses)
+        #: and only then answers with the status tree — one interaction
+        #: replaces a poll train.  Servers without subscription support
+        #: simply answer immediately (the poll semantics), so the field
+        #: degrades cleanly.
+        self.subscribe = bool(subscribe)
+        self.hold_s = float(hold_s)
 
     def to_payload(self) -> dict[str, typing.Any]:
         payload = super().to_payload()
         payload["target_job_id"] = self.target_job_id
         payload["detail"] = self.detail
+        if self.subscribe:
+            payload["subscribe"] = True
+            payload["hold_s"] = self.hold_s
         return payload

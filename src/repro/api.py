@@ -108,6 +108,10 @@ class GridSession:
     BROKER_BIND_TIMEOUT_S = 48 * 3600.0
     #: How far to advance the clock while a stolen job awaits rebinding.
     BROKER_REBIND_WAIT_S = 30.0
+    #: How many rebind-waits to grant a "killed" answer on a live broker
+    #: entry before believing it (a steal's kill is visible to a
+    #: subscription wait before the reclaim ack unbinds the entry).
+    STEAL_GRACE_ROUNDS = 10
 
     def __init__(
         self,
@@ -374,14 +378,28 @@ class GridSession:
         return JobStatusView.from_dict(tree)
 
     def wait(
-        self, handle: "JobHandle | str", max_polls: int = 10_000
+        self,
+        handle: "JobHandle | str",
+        max_polls: int = 10_000,
+        subscribe: bool = True,
     ) -> JobStatusView:
         """Block until the job is terminal, riding out crash windows.
+
+        The default path holds a completion-event subscription open at
+        the gateway (renewed in long holds) instead of polling;
+        ``subscribe=False`` forces the classic poll loop.  Either way,
+        exhausting ``max_polls`` raises
+        :class:`~repro.errors.WaitTimeout` (code ``api.wait_timeout``).
 
         A late-bound job may be *stolen* to another Vsite mid-wait (its
         original batch entry killed, a new consignment elsewhere); the
         loop follows the broker entry to wherever the job currently is.
+        A subscription wait observes the steal's kill *instantly* —
+        before the reclaim ack reaches the broker hub — so a "killed"
+        answer for a live broker entry gets a short grace window for the
+        entry to unbind and move before it is believed.
         """
+        steal_grace = self.STEAL_GRACE_ROUNDS
         while True:
             entry = self._brokered.get(self._job_id(handle))
             if (
@@ -394,10 +412,11 @@ class GridSession:
                 continue
             jmc, job_id = self._target(handle)
             tree = self._run(
-                self._wait_gen(jmc, job_id, max_polls), name="wait"
+                self._wait_gen(jmc, job_id, max_polls, subscribe), name="wait"
             )
             new_id, _ = self._resolve(handle)
             if new_id != job_id:
+                steal_grace = self.STEAL_GRACE_ROUNDS
                 continue  # moved while we were polling the old site
             if (
                 entry is not None
@@ -405,12 +424,29 @@ class GridSession:
                 and not entry.job_id
             ):
                 continue
+            if (
+                tree.get("status") == "killed"
+                and entry is not None
+                and not entry.state.is_terminal
+                and steal_grace > 0
+            ):
+                steal_grace -= 1
+                self.advance(self.BROKER_REBIND_WAIT_S)
+                continue
             return JobStatusView.from_dict(tree)
 
-    def _wait_gen(self, jmc: JobMonitorController, job_id: str, max_polls: int):
+    def _wait_gen(
+        self,
+        jmc: JobMonitorController,
+        job_id: str,
+        max_polls: int,
+        subscribe: bool = True,
+    ):
         for attempt in range(self.WAIT_OUTAGE_RETRIES + 1):
             try:
-                result = yield from jmc.wait_for_completion(job_id, max_polls)
+                result = yield from jmc.wait_for_completion(
+                    job_id, max_polls, subscribe=subscribe
+                )
                 return result
             except _TRANSPORT_ERRORS:
                 if attempt >= self.WAIT_OUTAGE_RETRIES:

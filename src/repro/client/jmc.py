@@ -16,11 +16,12 @@ from repro.ajo.outcome import AJOOutcome, Outcome, TaskOutcome
 from repro.ajo.serialize import decode_outcome, encode_service
 from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
 from repro.client.browser import UnicoreSession
-from repro.faults.errors import CircuitOpenError
+from repro.errors import WaitTimeout
+from repro.faults.errors import CircuitOpenError, ServiceUnavailable
 from repro.observability import telemetry_for
 from repro.protocol.datapath import fetch_bulk_payload
 from repro.protocol.messages import Request, RequestKind
-from repro.protocol.retry import RetryExhausted
+from repro.protocol.retry import PollBudgetExhausted, RetryExhausted
 from repro.protocol.views import JobStatusView
 from repro.vfs.spaces import Workstation
 
@@ -32,15 +33,41 @@ _TERMINAL = {"successful", "failed", "killed", "not_attempted"}
 class JobMonitorController:
     """The JMC applet: monitor, control, and harvest job results."""
 
+    #: Subscription hold ladder for :meth:`wait_for_completion`: the
+    #: first QUERY parks briefly (many jobs finish quickly, and a short
+    #: first hold keeps the JMC responsive for them), renewals park much
+    #: longer — a held-open request costs no wire traffic.
+    SUBSCRIBE_FIRST_HOLD_S = 7200.0
+    SUBSCRIBE_RENEW_HOLD_S = 7200.0
+    #: Extra response-timeout slack over the requested hold, covering
+    #: transit and gateway processing before the reply is declared lost.
+    SUBSCRIBE_REPLY_GRACE_S = 120.0
+
     def __init__(self, session: UnicoreSession) -> None:
         self.session = session
         #: Last good status tree per job as ``(sim_time, tree)``, for
         #: stale-but-served display during gateway outages.
         self._status_cache: dict[str, tuple[float, dict]] = {}
+        #: Delta-listing state: the server change-log cursor and the
+        #: merged rows (``job_id -> listing dict``) it is valid against.
+        self._list_cursor: tuple[int, int] | None = None
+        self._list_rows: dict[str, dict] = {}
 
     # -- monitoring (each method is a generator: yield from in a process) ----
     def list_jobs(self):
-        service = ListService("list my jobs")
+        """The user's jobs at this Usite, fetched incrementally.
+
+        The first call bootstraps a change-log cursor (``since_seq=0``
+        forces a versioned full answer); later calls send the cursor and
+        receive only the listings that changed, merged into the cached
+        rows client-side.  An epoch change (the NJS crashed and restarted
+        its log) or a plain-list answer (pre-delta server) resyncs.
+        """
+        if self._list_cursor is None:
+            service = ListService("list my jobs", since_seq=0, epoch=-1)
+        else:
+            seq, epoch = self._list_cursor
+            service = ListService("list my jobs", since_seq=seq, epoch=epoch)
         reply = yield from self.session.client.interact(
             Request(
                 kind=RequestKind.LIST,
@@ -50,7 +77,27 @@ class JobMonitorController:
         )
         if not reply.ok:
             raise RuntimeError(f"list failed: {reply.error}")
-        return json.loads(reply.payload)
+        data = json.loads(reply.payload)
+        if isinstance(data, list):
+            # Pre-delta server: a plain full listing, no cursor to keep.
+            self._list_cursor = None
+            self._list_rows = {row["job_id"]: row for row in data}
+            return data
+        full = bool(data.get("full", False))
+        if full:
+            self._list_rows = {
+                row["job_id"]: row for row in data.get("listings", ())
+            }
+        else:
+            telemetry_for(self.session.client.sim).metrics.counter(
+                "jmc.delta_views"
+            ).inc()
+            for row in data.get("listings", ()):
+                self._list_rows[row["job_id"]] = row
+            for job_id in data.get("removed", ()):
+                self._list_rows.pop(job_id, None)
+        self._list_cursor = (int(data["seq"]), int(data["epoch"]))
+        return [self._list_rows[job_id] for job_id in sorted(self._list_rows)]
 
     def status(
         self,
@@ -86,17 +133,70 @@ class JobMonitorController:
         self._status_cache[job_id] = (self.session.client.sim.now, tree)
         return tree
 
-    def wait_for_completion(self, job_id: str, max_polls: int = 10_000):
-        """Poll until the job reaches a terminal state (async pattern)."""
-        service = QueryService("poll", target_job_id=job_id)
-        query_bytes = encode_service(service)
-        reply = yield from self.session.client.poll_until(
-            make_query=lambda: query_bytes,
-            user_dn=self.session.user_dn,
-            is_done=lambda r: r.ok and json.loads(r.payload)["status"] in _TERMINAL,
-            max_polls=max_polls,
-        )
-        return json.loads(reply.payload)
+    def wait_for_completion(
+        self, job_id: str, max_polls: int = 10_000, subscribe: bool = True
+    ):
+        """Block until the job reaches a terminal state.
+
+        The default path *subscribes*: each QUERY asks the gateway to
+        park the request until the job completes (or the hold elapses),
+        so one interaction replaces a whole poll train.  A server that
+        answers a subscribe immediately (no hold support) degrades to
+        the classic poll cadence.  ``subscribe=False`` forces the
+        paper's original bounded poll loop.
+
+        Exhausting ``max_polls`` raises :class:`~repro.errors.WaitTimeout`
+        (code ``api.wait_timeout``): the job is not failed, just not
+        terminal within the caller's patience.
+        """
+        if not subscribe:
+            service = QueryService("poll", target_job_id=job_id)
+            query_bytes = encode_service(service)
+            try:
+                reply = yield from self.session.client.poll_until(
+                    make_query=lambda: query_bytes,
+                    user_dn=self.session.user_dn,
+                    is_done=lambda r: r.ok
+                    and json.loads(r.payload)["status"] in _TERMINAL,
+                    max_polls=max_polls,
+                )
+            except PollBudgetExhausted:
+                raise WaitTimeout(job_id, max_polls) from None
+            return json.loads(reply.payload)
+
+        client = self.session.client
+        for round_no in range(max_polls):
+            hold = (
+                self.SUBSCRIBE_FIRST_HOLD_S
+                if round_no == 0
+                else self.SUBSCRIBE_RENEW_HOLD_S
+            )
+            service = QueryService(
+                "wait", target_job_id=job_id, subscribe=True, hold_s=hold
+            )
+            asked_at = client.sim.now
+            reply = yield from client.query(
+                encode_service(service),
+                user_dn=self.session.user_dn,
+                response_timeout_s=hold + self.SUBSCRIBE_REPLY_GRACE_S,
+            )
+            if not reply.ok:
+                if reply.error_code == ServiceUnavailable.code:
+                    # The NJS crashed under the parked request; surface
+                    # as an outage so the facade's wait loop retries
+                    # once the journal replay brings the site back.
+                    raise ServiceUnavailable(reply.error)
+                raise RuntimeError(f"wait failed: {reply.error}")
+            tree = json.loads(reply.payload)
+            self._status_cache[job_id] = (client.sim.now, tree)
+            if tree["status"] in _TERMINAL:
+                return tree
+            if client.sim.now - asked_at < hold * 0.5:
+                # The server answered well before the hold expired
+                # without a terminal status: it does not park requests.
+                # Fall back to the poll cadence so renewals don't spin.
+                yield client.sim.timeout(client.poll_interval_s)
+        raise WaitTimeout(job_id, max_polls)
 
     def outcome(self, job_id: str):
         """Fetch the full Outcome tree (stdout/stderr included)."""

@@ -46,7 +46,9 @@ __all__ = [
     "AJOError", "ValidationError", "DependencyCycleError", "SerializationError",
     "UnsafePathError",
     # protocol
-    "RetryExhausted",
+    "RetryExhausted", "PollBudgetExhausted",
+    # facade
+    "WaitTimeout",
     # faults / resilience
     "FaultError", "CircuitOpenError", "ServiceUnavailable",
     # federation broker
@@ -62,6 +64,26 @@ class ReproError(Exception):
     """
 
     code: str = "repro.error"
+
+
+class WaitTimeout(ReproError):
+    """A bounded wait gave up before the job reached a terminal state.
+
+    Raised by the facade tier (``GridSession.wait`` /
+    ``JobMonitorController.wait_for_completion``) when the caller's poll
+    budget runs out.  The job is *not* known to have failed — it simply
+    was not terminal yet — so this is deliberately not a transport error
+    and is never retried on the caller's behalf.
+    """
+
+    code = "api.wait_timeout"
+
+    def __init__(self, job_id: str, polls: int) -> None:
+        super().__init__(
+            f"job {job_id} not terminal after {polls} status polls"
+        )
+        self.job_id = job_id
+        self.polls = polls
 
 
 #: Which layer module defines each re-exported name.
@@ -101,6 +123,7 @@ _HOMES = {
     "SerializationError": "repro.ajo.errors",
     "UnsafePathError": "repro.ajo.errors",
     "RetryExhausted": "repro.protocol.retry",
+    "PollBudgetExhausted": "repro.protocol.retry",
     "FaultError": "repro.faults.errors",
     "CircuitOpenError": "repro.faults.errors",
     "ServiceUnavailable": "repro.faults.errors",

@@ -16,7 +16,7 @@ from repro.net.https import HttpsChannel
 from repro.net.transport import Host
 from repro.observability import telemetry_for
 from repro.protocol.messages import Reply, Request
-from repro.protocol.retry import RetryExhausted, RetryPolicy
+from repro.protocol.retry import PollBudgetExhausted, RetryExhausted, RetryPolicy
 from repro.simkernel import Event, Simulator
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -98,16 +98,29 @@ class AsyncProtocolClient:
         self.requests_sent = 0
         self.retries = 0
 
+    @staticmethod
+    def _fire_deadline(timer: Event) -> None:
+        if not timer.triggered:
+            timer.succeed()
+
     # Each public operation is a generator to ``yield from`` inside a
     # simulation process; it returns the reply payload.
     def interact(
-        self, request: Request
+        self, request: Request, response_timeout_s: float | None = None
     ) -> typing.Generator[Event, object, Reply]:
         """One short request/reply interaction with retries.
 
-        Raises :class:`RetryExhausted` when the policy gives up, and
-        re-raises server-side errors as-is inside the failed Reply.
+        ``response_timeout_s`` overrides the client default for this one
+        interaction — subscription QUERYs that the server deliberately
+        parks need a window covering the requested hold.  Raises
+        :class:`RetryExhausted` when the policy gives up, and re-raises
+        server-side errors as-is inside the failed Reply.
         """
+        timeout_s = (
+            self.response_timeout_s
+            if response_timeout_s is None
+            else response_timeout_s
+        )
         if self.breaker is not None:
             self.breaker.check()
         telemetry = telemetry_for(self.sim)
@@ -139,9 +152,16 @@ class AsyncProtocolClient:
             try:
                 yield self.channel.send(request, request.wire_size)
                 # The reply itself may be lost in transit, so race the
-                # expectation against a response timeout.
-                timer = self.sim.timeout(self.response_timeout_s)
+                # expectation against a response timeout.  The deadline is
+                # a cancellable callback slot rather than a Timeout: when
+                # the reply wins (the common case) the loser is cancelled
+                # and never charged to the event queue.
+                timer = self.sim.event(name="response-deadline")
+                deadline = self.sim.schedule_callback(
+                    timeout_s, self._fire_deadline, timer
+                )
                 fired = yield reply_ev | timer
+                deadline.cancel()
                 if reply_ev in fired:
                     if attempt_span is not None:
                         tracer.end_span(attempt_span)
@@ -151,7 +171,7 @@ class AsyncProtocolClient:
                     return typing.cast(Reply, fired[reply_ev])
                 last_error = ConnectionLost(
                     f"no reply to request {request.request_id} within "
-                    f"{self.response_timeout_s}s"
+                    f"{timeout_s}s"
                 )
             except ConnectionLost as err:
                 # The request was lost on the way out.
@@ -192,10 +212,15 @@ class AsyncProtocolClient:
         return reply
 
     def query(
-        self, query_bytes: bytes, user_dn: str
+        self,
+        query_bytes: bytes,
+        user_dn: str,
+        response_timeout_s: float | None = None,
     ) -> typing.Generator[Event, object, Reply]:
         request = Request(kind="query", user_dn=user_dn, payload=query_bytes)
-        reply = yield from self.interact(request)
+        reply = yield from self.interact(
+            request, response_timeout_s=response_timeout_s
+        )
         return reply
 
     def poll_until(
@@ -215,4 +240,6 @@ class AsyncProtocolClient:
             if is_done(reply):
                 return reply
             yield self.sim.timeout(self.poll_interval_s)
-        raise RetryExhausted(max_polls, TimeoutError("job never reached a terminal state"))
+        raise PollBudgetExhausted(
+            max_polls, TimeoutError("job never reached a terminal state")
+        )

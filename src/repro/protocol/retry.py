@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import ReproError
 
-__all__ = ["RetryPolicy", "RetryExhausted"]
+__all__ = ["RetryPolicy", "RetryExhausted", "PollBudgetExhausted"]
 
 
 class RetryExhausted(ReproError):
@@ -18,6 +18,17 @@ class RetryExhausted(ReproError):
         super().__init__(f"gave up after {attempts} attempts: {last_error}")
         self.attempts = attempts
         self.last_error = last_error
+
+
+class PollBudgetExhausted(RetryExhausted):
+    """``poll_until`` used up ``max_polls`` without meeting its predicate.
+
+    Distinct from plain :class:`RetryExhausted` (every poll may have been
+    answered — the *condition* never held), so callers can separate "the
+    road is out" from "the job just isn't done yet".
+    """
+
+    code = "protocol.poll_budget_exhausted"
 
 
 @dataclass(frozen=True, slots=True)

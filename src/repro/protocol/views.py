@@ -18,7 +18,7 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass, replace
 
-__all__ = ["JobStatusView", "JobListing"]
+__all__ = ["JobStatusView", "JobListing", "JobListingDelta"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,5 +108,47 @@ class JobListing:
             status=data["status"],
             submitted_at=float(data.get("submitted_at", 0.0)),
             recovered=bool(data.get("recovered", False)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class JobListingDelta:
+    """The LIST service's versioned answer: changes since a cursor.
+
+    ``seq`` is the server's change-log position after this answer;
+    passing it back as ``since_seq`` on the next LIST yields only what
+    changed in between.  ``epoch`` identifies one life of the change-log
+    — after an NJS crash the log restarts in a new epoch, the server
+    answers with ``full=True``, and any old cursor must be discarded.
+    """
+
+    seq: int
+    epoch: int
+    #: True when ``listings`` is the complete list (fresh client cursor,
+    #: epoch mismatch, or a server that compacted past the cursor).
+    full: bool
+    listings: tuple[JobListing, ...] = ()
+    #: Job ids removed (disposed) since the cursor; empty on full answers.
+    removed: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "full": self.full,
+            "listings": [item.to_dict() for item in self.listings],
+            "removed": list(self.removed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping) -> "JobListingDelta":
+        return cls(
+            seq=int(data["seq"]),
+            epoch=int(data["epoch"]),
+            full=bool(data.get("full", False)),
+            listings=tuple(
+                JobListing.from_dict(item) for item in data.get("listings", ())
+            ),
+            removed=tuple(data.get("removed", ())),
         )
 

@@ -64,6 +64,11 @@ __all__ = ["Gateway"]
 #: CPU cost of the gateway's per-request certificate re-validation.
 AUTH_CPU_S = 0.003
 
+#: Upper bound on how long one subscription QUERY may be parked waiting
+#: for job completion.  Clients renew expired holds with a fresh QUERY,
+#: so this caps per-request state lifetime without capping the wait.
+MAX_SUBSCRIBE_HOLD_S = 24 * 3600.0
+
 
 class Gateway:
     """The Usite's https front end and security servlet."""
@@ -309,7 +314,10 @@ class Gateway:
         from repro.faults.errors import ServiceUnavailable
 
         try:
-            reply = self._dispatch(request, parent_span=request_span)
+            if request.kind == RequestKind.QUERY:
+                reply = yield from self._dispatch_query(request)
+            else:
+                reply = self._dispatch(request, parent_span=request_span)
         except (
             ConsignError, UnknownUnicoreJobError, SerializationError,
             ServerError, ServiceUnavailable, BrokerError,
@@ -386,22 +394,20 @@ class Gateway:
                 payload=json.dumps({"job_id": run.job_id}).encode(),
             )
 
-        if request.kind == RequestKind.QUERY:
-            service = decode_service(request.payload)
-            if not isinstance(service, QueryService):
-                raise SerializationError("QUERY request must carry a QueryService")
-            self._authorize_job(service.target_job_id, request.user_dn)
-            view = self.njs.query_status(service.target_job_id, detail=service.detail)
-            # Serialization happens here, at the protocol edge, only.
-            return Reply(
-                request_id=request.request_id, ok=True,
-                payload=json.dumps(view.to_dict()).encode(),
-            )
-
         if request.kind == RequestKind.LIST:
             service = decode_service(request.payload)
             if not isinstance(service, ListService):
                 raise SerializationError("LIST request must carry a ListService")
+            if service.since_seq >= 0:
+                # Cursor-carrying client: answer with the change-log
+                # delta (or a cursored full listing on epoch mismatch).
+                delta = self.njs.list_jobs_delta(
+                    request.user_dn, service.since_seq, service.epoch
+                )
+                return Reply(
+                    request_id=request.request_id, ok=True,
+                    payload=json.dumps(delta.to_dict()).encode(),
+                )
             jobs = self.njs.list_jobs(request.user_dn)
             return Reply(
                 request_id=request.request_id, ok=True,
@@ -454,6 +460,48 @@ class Gateway:
             )
 
         raise ServerError(f"unhandled request kind {request.kind!r}")
+
+    def _dispatch_query(self, request: Request):
+        """Answer a QUERY, parking subscription requests until completion.
+
+        A subscribing client asks the server to hold the request until
+        the job reaches a terminal state (or ``hold_s`` elapses) — one
+        interaction replaces a poll train.  The park rides the NJS's
+        completion watcher; an NJS crash fires the watcher early, and the
+        post-wake ``query_status`` then surfaces ``ServiceUnavailable``
+        through the normal error-reply path for the client to retry.
+        """
+        service = decode_service(request.payload)
+        if not isinstance(service, QueryService):
+            raise SerializationError("QUERY request must carry a QueryService")
+        self._authorize_job(service.target_job_id, request.user_dn)
+        if service.subscribe and service.hold_s > 0:
+            watch = self.njs.watch_completion(service.target_job_id)
+            if watch is not None:
+                hold = min(service.hold_s, MAX_SUBSCRIBE_HOLD_S)
+                telemetry_for(self.sim).metrics.counter(
+                    "gateway.subscribe_holds"
+                ).inc()
+                # Hold deadline as a cancellable slot: when the watcher
+                # fires first (the common case) the hours-away timer is
+                # cancelled instead of lingering in the event queue.
+                hold_ev = self.sim.event(name="subscribe-hold")
+                deadline = self.sim.schedule_callback(
+                    hold, self._fire_hold, hold_ev
+                )
+                yield watch | hold_ev
+                deadline.cancel()
+        view = self.njs.query_status(service.target_job_id, detail=service.detail)
+        # Serialization happens here, at the protocol edge, only.
+        return Reply(
+            request_id=request.request_id, ok=True,
+            payload=json.dumps(view.to_dict()).encode(),
+        )
+
+    @staticmethod
+    def _fire_hold(hold_ev) -> None:
+        if not hold_ev.triggered:
+            hold_ev.succeed()
 
     def _authorize_job(self, job_id: str, user_dn: str) -> None:
         """Users may only touch their own jobs."""

@@ -14,6 +14,8 @@ simulation materializes real data flow.
 
 from __future__ import annotations
 
+import json
+
 from repro.ajo.tasks import (
     CompileTask,
     ExecuteScriptTask,
@@ -27,9 +29,71 @@ from repro.server.errors import IncarnationError
 from repro.server.vsite import Vsite
 from repro.vfs.spaces import Uspace
 
-__all__ = ["incarnate_task", "select_queue", "DEFAULT_QUEUE"]
+__all__ = ["incarnate_task", "select_queue", "IncarnationCache", "DEFAULT_QUEUE"]
 
 DEFAULT_QUEUE = "batch"
+
+
+class IncarnationCache:
+    """Memoizes the translation work of :func:`incarnate_task`.
+
+    Production workloads incarnate the *same task shapes* over and over
+    (section 5.7's mixed workload is a handful of templates at varying
+    runtimes).  Queue selection, dialect translation, and script
+    rendering depend only on the task's shape and the destination's
+    dialect — never on the submitting user or the wallclock — so their
+    results are cached under a ``(vsite, dialect, queue, shape)`` key.
+    Per-job fields (owner, wallclock, extra outputs, workdir) are applied
+    outside the cache.
+    """
+
+    __slots__ = ("_entries", "hits", "misses", "max_entries")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._entries: dict[tuple, tuple[str, str, tuple[FileEffect, ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.max_entries = max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def shape_key(task: ExecuteTask, vsite: Vsite, queue: str | None) -> tuple:
+        """A hashable key identifying the translation inputs.
+
+        ``simulated_runtime_s`` (ground truth, not part of the script)
+        and the action ``id`` (unique per instance) are excluded — two
+        tasks differing only there incarnate identically.
+        """
+        payload = task.to_payload()
+        payload.pop("id", None)
+        payload.pop("simulated_runtime_s", None)
+        return (
+            vsite.name,
+            type(vsite.batch.dialect).__name__,
+            queue,
+            type(task).__name__,
+            json.dumps(payload, sort_keys=True),
+        )
+
+    def get(self, key: tuple) -> tuple[str, str, tuple[FileEffect, ...]] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self, key: tuple, queue: str, script: str,
+        effects: tuple[FileEffect, ...],
+    ) -> None:
+        if len(self._entries) >= self.max_entries:
+            # Shape diversity beyond the cap means the cache is not
+            # earning its memory; reset rather than track recency.
+            self._entries.clear()
+        self._entries[key] = (queue, script, effects)
 
 
 def select_queue(vsite: Vsite, resources) -> str:
@@ -106,6 +170,7 @@ def incarnate_task(
     queue: str | None = None,
     origin: str = "unicore",
     metrics=None,
+    cache: IncarnationCache | None = None,
 ) -> BatchJobSpec:
     """Translate one abstract execute task into a vendor batch job.
 
@@ -114,24 +179,40 @@ def incarnate_task(
     the task's intrinsic products.  With ``queue=None`` the tightest
     admitting local queue is selected via :func:`select_queue`.  With a
     :class:`~repro.observability.MetricsRegistry` as ``metrics``, the
-    size of every produced script is recorded.
+    size of every produced script is recorded.  With a ``cache``, queue
+    selection, translation, and script rendering are memoized by (task
+    shape, dialect); per-job fields are always computed fresh.
     """
     if not isinstance(task, ExecuteTask):
         raise IncarnationError(
             f"only execute tasks become batch jobs; {type(task).__name__} "
             "is handled by the NJS itself"
         )
-    if queue is None:
-        queue = select_queue(vsite, task.resources)
-    body, effects = _body_for(task, vsite)
-    env = vsite.translation.map_environment(task.environment)
-    env_lines = [f"export {k}={v}" for k, v in sorted(env.items())]
-    script = vsite.batch.dialect.render_script(
-        job_name=task.name,
-        queue=queue,
-        resources=task.resources,
-        body_lines=env_lines + body,
-    )
+    key = cached = None
+    if cache is not None:
+        key = IncarnationCache.shape_key(task, vsite, queue)
+        cached = cache.get(key)
+    if cached is not None:
+        queue, script, base_effects = cached
+        effects = list(base_effects)
+        if metrics is not None:
+            metrics.counter("njs.incarnation_cache.hits").inc()
+    else:
+        if queue is None:
+            queue = select_queue(vsite, task.resources)
+        body, effects = _body_for(task, vsite)
+        env = vsite.translation.map_environment(task.environment)
+        env_lines = [f"export {k}={v}" for k, v in sorted(env.items())]
+        script = vsite.batch.dialect.render_script(
+            job_name=task.name,
+            queue=queue,
+            resources=task.resources,
+            body_lines=env_lines + body,
+        )
+        if cache is not None and key is not None:
+            cache.store(key, queue, script, tuple(effects))
+            if metrics is not None:
+                metrics.counter("njs.incarnation_cache.misses").inc()
     if metrics is not None:
         metrics.histogram("incarnation.script_bytes").observe(len(script))
 

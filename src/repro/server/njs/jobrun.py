@@ -66,6 +66,9 @@ class JobRun:
     #: Supervision processes spawned for this run; interrupted on crash
     #: so a journal replay never races orphaned supervisors.
     processes: list = field(default_factory=list)
+    #: Supervisor hook fired after any action status change, so run
+    #: indexes and the job change-log track the rollup without scans.
+    on_change: typing.Callable[["JobRun"], None] | None = None
 
     @classmethod
     def create(
@@ -113,6 +116,12 @@ class JobRun:
         outcome = self.outcomes[action_id]
         if not outcome.status.is_terminal:
             outcome.mark(status, reason=reason)
+        self.notify_change()
         event = self.events[action_id]
         if not event.triggered:
             event.succeed(status)
+
+    def notify_change(self) -> None:
+        """Tell the supervisor an action's status (possibly) changed."""
+        if self.on_change is not None:
+            self.on_change(self)

@@ -66,18 +66,19 @@ from repro.protocol.datapath import (
     DataPlaneEndpoint,
     StreamIdAllocator,
 )
-from repro.protocol.views import JobListing, JobStatusView
+from repro.protocol.views import JobListing, JobListingDelta, JobStatusView
 from repro.resources.check import check_request
 from repro.security.errors import MappingError
 from repro.security.ssl import HANDSHAKE_ROUND_TRIPS, SSLSession
 from repro.security.uudb import UUDB
 from repro.server.errors import ConsignError, UnknownUnicoreJobError
 from repro.server.njs.codine_layer import CodineJobControl
-from repro.server.njs.incarnation import incarnate_task
+from repro.server.njs.incarnation import IncarnationCache, incarnate_task
 from repro.server.njs.jobrun import JobRun
 from repro.server.njs.journal import JobJournal, JournalEntry
+from repro.server.njs.runindex import JobChangeLog, RunIndex
 from repro.server.vsite import Vsite
-from repro.simkernel import Simulator
+from repro.simkernel import Event, Simulator
 from repro.vfs.errors import VFSError
 from repro.vfs.spaces import Xspace
 
@@ -250,6 +251,18 @@ class NetworkJobSupervisor:
         self.codine = CodineJobControl()
 
         self._runs: dict[str, JobRun] = {}
+        #: State/user-keyed lookup tables over ``_runs`` (quota checks,
+        #: listings, advertisements) — maintained by :meth:`_note_change`.
+        self._index = RunIndex()
+        #: Versioned change-log backing delta LIST answers.
+        self._changes = JobChangeLog()
+        #: Completion watchers for subscription-style waits: job id ->
+        #: events the gateway parks on.  Fired on terminal transition and
+        #: (with the job still unfinished) on :meth:`crash`, so nobody
+        #: sleeps through a lost run.
+        self._watchers: dict[str, list[Event]] = {}
+        #: Incarnation translation cache keyed by (task shape, dialect).
+        self.incarnation_cache = IncarnationCache()
         #: forwarded groups indexed by the *parent's* job id, for transfers
         #: and cancellation arriving from the parent site.
         self._foreign_runs: dict[str, JobRun] = {}
@@ -361,11 +374,8 @@ class NetworkJobSupervisor:
                 and not is_replay
                 and parent_job_id is None
             ):
-                active = sum(
-                    1
-                    for run in self._runs.values()
-                    if run.user_dn == dn and not run.status().is_terminal
-                )
+                active = self._index.active_count(dn)
+                telemetry_for(self.sim).metrics.counter("njs.index.hits").inc()
                 if active >= self.max_active_per_user:
                     telemetry_for(self.sim).metrics.counter(
                         "broker.rejections"
@@ -394,6 +404,10 @@ class NetworkJobSupervisor:
         )
         run.trace_id = trace_id
         self._runs[job_id] = run
+        run.on_change = self._note_change
+        status = run.status()
+        self._index.add(job_id, dn, status.value, status.is_terminal)
+        self._changes.record(self._listing_for(run, status.value), dn)
         if parent_job_id is not None:
             self._foreign_runs[parent_job_id] = run
         if not is_replay:
@@ -730,6 +744,7 @@ class NetworkJobSupervisor:
             task, vsite, mapping, uspace,
             extra_outputs=out_files + export_sources + group_owes,
             metrics=telemetry.metrics,
+            cache=self.incarnation_cache,
         )
         spec.trace_id = run.trace_id
         spec.parent_span_id = run.job_span.span_id if run.job_span else ""
@@ -765,6 +780,7 @@ class NetworkJobSupervisor:
             outcome.submitted_at = self.sim.now
             if not outcome.status.is_terminal:
                 outcome.mark(ActionStatus.QUEUED)
+                run.notify_change()
 
             record = yield vsite.batch.query(local_id).completion_event
             if (
@@ -1437,6 +1453,24 @@ class NetworkJobSupervisor:
                     proc.interrupt(cause="njs-crash")
         self._runs.clear()
         self._runs.update(finished)
+        # Wake every parked completion subscriber: the run it watched is
+        # either finished (answer immediately) or gone (the client must
+        # observe the outage and re-subscribe after the replay).
+        for watchers in self._watchers.values():
+            for watcher in watchers:
+                if not watcher.triggered:
+                    watcher.succeed(None)
+        self._watchers.clear()
+        # The in-memory index dies with the process; rebuild from the
+        # surviving (finished) runs and start a fresh change-log epoch so
+        # delta cursors from the old life are refused with a full resync.
+        self._index.rebuild(self._runs)
+        telemetry_for(self.sim).metrics.counter("njs.index.rebuilds").inc()
+        self._changes = self._changes.next_epoch()
+        for run in self._runs.values():
+            self._changes.record(
+                self._listing_for(run, run.status().value), run.user_dn
+            )
         self._foreign_runs.clear()
         self._early_files.clear()
         self._pending.clear()
@@ -1524,6 +1558,53 @@ class NetworkJobSupervisor:
                 )
             )
 
+    # ------------------------------------------------- index & change-log
+    def _listing_for(self, run: JobRun, status_value: str) -> JobListing:
+        return JobListing(
+            job_id=run.job_id,
+            name=run.root.name,
+            status=status_value,
+            submitted_at=run.submitted_at,
+            recovered=run.recovered,
+        )
+
+    def _note_change(self, run: JobRun) -> None:
+        """Status-change hook: keep index, change-log, watchers current.
+
+        Fired by :meth:`JobRun.notify_change` after any action status
+        change.  Only rollup-value changes append to the change-log, so
+        the log stays proportional to *visible* transitions.
+        """
+        if self._runs.get(run.job_id) is not run:
+            return  # orphaned by a crash that raced supervision
+        status = run.status()
+        changed = self._index.note_status(
+            run.job_id, run.user_dn, status.value, status.is_terminal
+        )
+        if not changed:
+            return
+        self._changes.record(self._listing_for(run, status.value), run.user_dn)
+        if status.is_terminal:
+            for watcher in self._watchers.pop(run.job_id, ()):
+                if not watcher.triggered:
+                    watcher.succeed(status)
+
+    def watch_completion(self, job_id: str) -> Event | None:
+        """An event that fires when the job turns terminal (subscription).
+
+        Returns ``None`` when the job is already terminal — the caller
+        should answer immediately.  Watcher events are owned by the
+        *caller* (the gateway), never by the run: a crash fires them all
+        (waking subscribers to observe the outage) without disturbing
+        the run's own completion events.
+        """
+        run = self.get_run(job_id)
+        if run.status().is_terminal:
+            return None
+        ev = self.sim.event(name=f"watch:{job_id}")
+        self._watchers.setdefault(job_id, []).append(ev)
+        return ev
+
     # ---------------------------------------------------------------- services
     def get_run(self, job_id: str) -> JobRun:
         if self.crashed:
@@ -1538,20 +1619,39 @@ class NetworkJobSupervisor:
             ) from None
 
     def list_jobs(self, user_dn: str) -> list[JobListing]:
-        """The ListService answer: the user's jobs at this NJS."""
+        """The ListService answer: the user's jobs at this NJS.
+
+        Indexed: touches only the user's own runs, not the whole table.
+        """
         if self.crashed:
             raise ServiceUnavailable(f"NJS at {self.usite_name} is down")
+        telemetry_for(self.sim).metrics.counter("njs.index.hits").inc()
         return [
-            JobListing(
-                job_id=run.job_id,
-                name=run.root.name,
-                status=run.status().value,
-                submitted_at=run.submitted_at,
-                recovered=run.recovered,
-            )
-            for run in self._runs.values()
-            if run.user_dn == user_dn
+            self._listing_for(run, run.status().value)
+            for job_id in sorted(self._index.jobs_for(user_dn))
+            if (run := self._runs.get(job_id)) is not None
         ]
+
+    def list_jobs_delta(
+        self, user_dn: str, since_seq: int, epoch: int
+    ) -> JobListingDelta:
+        """The versioned ListService answer: changes since the cursor.
+
+        A cursor from another epoch (the change-log restarted after a
+        crash), or no cursor at all, gets a full listing tagged with the
+        current epoch so the client can resync and resume deltas.
+        """
+        if self.crashed:
+            raise ServiceUnavailable(f"NJS at {self.usite_name} is down")
+        if epoch != self._changes.epoch or since_seq < 0:
+            return JobListingDelta(
+                seq=self._changes.seq,
+                epoch=self._changes.epoch,
+                full=True,
+                listings=tuple(self.list_jobs(user_dn)),
+            )
+        telemetry_for(self.sim).metrics.counter("njs.index.hits").inc()
+        return self._changes.delta_for(user_dn, since_seq)
 
     def query_status(self, job_id: str, detail: str = "tasks") -> JobStatusView:
         """The QueryService answer: the status tree at the chosen detail."""
@@ -1627,6 +1727,8 @@ class NetworkJobSupervisor:
                 if vsite is not None and uspace.job_id in vsite.uspaces.active_jobs:
                     vsite.uspaces.destroy(uspace.job_id)
         del self._runs[job_id]
+        self._index.discard(job_id, run.user_dn)
+        self._changes.record_removed(job_id, run.user_dn)
         self.journal.forget(job_id)
         for parent_id, foreign in list(self._foreign_runs.items()):
             if foreign is run:
@@ -1717,11 +1819,8 @@ class NetworkJobSupervisor:
                 speed_factor=vsite.machine.speed_factor,
                 page=vsite.resource_page,
             ))
-        terminal = tuple(sorted(
-            job_id
-            for job_id, run in self._runs.items()
-            if run.status().is_terminal
-        ))
+        telemetry_for(self.sim).metrics.counter("njs.index.hits").inc()
+        terminal = tuple(sorted(self._index.terminal))
         return AdvertiseCapacity(
             usite=self.usite_name,
             sent_at=now,
@@ -1732,11 +1831,16 @@ class NetworkJobSupervisor:
 
     def reclaimable_job_ids(self) -> list[str]:
         """Jobs the broker may steal: consigned here, every submitted
-        batch record still QUEUED, nothing started or cancelled."""
+        batch record still QUEUED, nothing started or cancelled.
+
+        Walks only the *active* index partition — terminal runs (the
+        bulk of a long-lived run table) are never touched.
+        """
+        telemetry_for(self.sim).metrics.counter("njs.index.hits").inc()
         out = []
-        for job_id in sorted(self._runs):
-            run = self._runs[job_id]
-            if run.cancelled or run.held or run.status().is_terminal:
+        for job_id in sorted(self._index.active):
+            run = self._runs.get(job_id)
+            if run is None or run.cancelled or run.held or run.status().is_terminal:
                 continue
             if not run.batch_jobs:
                 continue

@@ -16,6 +16,32 @@ class StopSimulation(Exception):
     """Raised internally to halt :meth:`Simulator.run` from a callback."""
 
 
+class _CallbackSlot:
+    """A pre-bound callback sitting directly on the event heap.
+
+    The hot path of the network layer schedules one callback per message;
+    allocating a full :class:`Timeout` (event object + callback list +
+    closure) for each one dominated the profile.  A slot holds just the
+    function and its arguments and is dispatched by the run loop without
+    touching the event machinery.
+    """
+
+    __slots__ = ("fn", "args", "cancelled")
+
+    def __init__(self, fn: typing.Callable[..., object], args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Drop the callback; the heap entry is skipped when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"<_CallbackSlot {getattr(self.fn, '__name__', self.fn)!r}{state}>"
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -31,10 +57,12 @@ class Simulator:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, int, Event | _CallbackSlot]] = []
         self._seq = count()
         self._active_process: Process | None = None
         self._processed_count = 0
+        self._callbacks_run = 0
+        self._peak_heap = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -51,6 +79,21 @@ class Simulator:
     def processed_events(self) -> int:
         """Total number of events processed so far (instrumentation)."""
         return self._processed_count
+
+    @property
+    def events_processed(self) -> int:
+        """Alias of :attr:`processed_events` (benchmark metric name)."""
+        return self._processed_count
+
+    def profile(self) -> dict[str, float]:
+        """A snapshot of run-loop counters for throughput analysis."""
+        return {
+            "now": self._now,
+            "events_processed": self._processed_count,
+            "callbacks_run": self._callbacks_run,
+            "heap_size": len(self._queue),
+            "peak_heap_size": self._peak_heap,
+        }
 
     # -- factories -----------------------------------------------------------
     def event(self, name: str | None = None) -> Event:
@@ -82,7 +125,10 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         """Place a triggered event on the queue ``delay`` from now."""
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, next(self._seq), event))
+        if len(queue) > self._peak_heap:
+            self._peak_heap = len(queue)
 
     def schedule_callback(
         self,
@@ -90,12 +136,22 @@ class Simulator:
         fn: typing.Callable[..., object],
         *args: object,
         name: str | None = None,
-    ) -> Event:
-        """Run ``fn(*args)`` ``delay`` time units from now; returns the event."""
-        ev = Timeout(self, delay, name=name or f"callback:{fn.__name__}")
-        assert ev.callbacks is not None
-        ev.callbacks.append(lambda _ev: fn(*args))
-        return ev
+    ) -> _CallbackSlot:
+        """Run ``fn(*args)`` ``delay`` time units from now.
+
+        Returns a cancellable slot.  Unlike :meth:`timeout`, no event
+        object is allocated: the slot goes straight on the heap and the
+        run loop invokes ``fn`` directly, which makes this the cheap path
+        for fire-and-forget work (message delivery, timers that are never
+        waited on).  ``name`` is accepted for API compatibility.
+        """
+        del name  # slots carry no name; kept for call-site compatibility
+        slot = _CallbackSlot(fn, args)
+        queue = self._queue
+        heapq.heappush(queue, (self._now + delay, next(self._seq), slot))
+        if len(queue) > self._peak_heap:
+            self._peak_heap = len(queue)
+        return slot
 
     # -- run loop ------------------------------------------------------------
     def peek(self) -> float:
@@ -106,10 +162,17 @@ class Simulator:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise RuntimeError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
+        when, _, item = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - guarded by _schedule
             raise RuntimeError("event scheduled in the past")
         self._now = when
+        if type(item) is _CallbackSlot:
+            if not item.cancelled:
+                self._processed_count += 1
+                self._callbacks_run += 1
+                item.fn(*item.args)
+            return
+        event = typing.cast(Event, item)
         callbacks = event.callbacks
         event.callbacks = None
         self._processed_count += 1
@@ -119,6 +182,42 @@ class Simulator:
         if not event._ok and not event._defused:
             exc = typing.cast(BaseException, event._value)
             raise exc
+
+    def run_until_idle(self, max_events: int | None = None) -> int:
+        """Drain the queue in a tight batched loop; returns events processed.
+
+        Equivalent to ``run(until=None)`` but without per-event method
+        dispatch — the run loop keeps local bindings and inlines the slot
+        fast path.  Stops early after ``max_events`` items when given.
+        Failure events that nobody defused still raise, exactly as in
+        :meth:`step`.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        budget = -1 if max_events is None else max_events
+        while queue and processed != budget:
+            when, _, item = pop(queue)
+            self._now = when
+            if type(item) is _CallbackSlot:
+                if item.cancelled:
+                    continue
+                self._processed_count += 1
+                self._callbacks_run += 1
+                item.fn(*item.args)
+                processed += 1
+                continue
+            event = typing.cast(Event, item)
+            callbacks = event.callbacks
+            event.callbacks = None
+            self._processed_count += 1
+            assert callbacks is not None
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event._defused:
+                raise typing.cast(BaseException, event._value)
+            processed += 1
+        return processed
 
     def run(self, until: "float | Event | None" = None) -> object:
         """Run the simulation.

@@ -49,6 +49,19 @@ class Store:
             self._putters.append((ev, item))
         return ev
 
+    def put_nowait(self, item: object) -> None:
+        """Fire-and-forget ``put`` for callers that never block on it.
+
+        Skips the ``store.put`` event allocation entirely — important on
+        the message hot path, where every inbox push would otherwise cost
+        one event-queue round trip.  Raises if the store is at capacity
+        (a fire-and-forget put cannot wait).
+        """
+        if len(self.items) >= self.capacity:
+            raise ValueError("put_nowait on a full store")
+        self.items.append(item)
+        self._dispatch()
+
     def get(self) -> Event:
         """The returned event fires with the next item."""
         ev = Event(self.sim, name="store.get")
@@ -136,7 +149,7 @@ class SimQueue:
         return len(self._store)
 
     def push(self, item: object) -> None:
-        self._store.put(item)
+        self._store.put_nowait(item)
 
     def pop(self) -> Event:
         """Event that fires with the oldest item."""

@@ -268,6 +268,107 @@ def test_schedule_callback():
     assert sim.now == 2.5
 
 
+def test_schedule_callback_counts_as_event():
+    sim = Simulator()
+    sim.schedule_callback(1.0, lambda: None)
+    sim.schedule_callback(2.0, lambda: None)
+    sim.run()
+    assert sim.processed_events == 2
+    assert sim.events_processed == 2
+
+
+def test_schedule_callback_cancel():
+    sim = Simulator()
+    hits = []
+    slot = sim.schedule_callback(1.0, hits.append, "dropped")
+    sim.schedule_callback(2.0, hits.append, "kept")
+    slot.cancel()
+    sim.run()
+    assert hits == ["kept"]
+    # A cancelled slot is skipped, not processed.
+    assert sim.processed_events == 1
+
+
+def test_callbacks_interleave_with_events_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule_callback(2.0, order.append, "cb@2")
+    ev = sim.timeout(1.0, value="ev@1")
+    ev.callbacks.append(lambda e: order.append(e.value))
+    sim.schedule_callback(3.0, order.append, "cb@3")
+    sim.run()
+    assert order == ["ev@1", "cb@2", "cb@3"]
+
+
+def test_run_until_idle_drains_queue():
+    sim = Simulator()
+    hits = []
+
+    def reschedule(depth):
+        hits.append(depth)
+        if depth < 3:
+            sim.schedule_callback(1.0, reschedule, depth + 1)
+
+    sim.schedule_callback(1.0, reschedule, 0)
+    processed = sim.run_until_idle()
+    assert hits == [0, 1, 2, 3]
+    assert processed == 4
+    assert sim.now == 4.0
+    assert sim.peek() == float("inf")
+
+
+def test_run_until_idle_max_events():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule_callback(1.0, lambda: None)
+    assert sim.run_until_idle(max_events=4) == 4
+    assert sim.run_until_idle() == 6
+
+
+def test_run_until_idle_runs_processes():
+    sim = Simulator()
+    log = []
+
+    def worker(sim):
+        yield sim.timeout(2.0)
+        log.append(sim.now)
+        return "ok"
+
+    sim.process(worker(sim))
+    sim.run_until_idle()
+    assert log == [2.0]
+
+
+def test_run_until_idle_propagates_failures():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_until_idle()
+
+
+def test_profile_hook():
+    sim = Simulator()
+    for i in range(4):
+        sim.timeout(float(i + 1))
+    sim.schedule_callback(5.0, lambda: None)
+    prof = sim.profile()
+    assert prof["heap_size"] == 5
+    assert prof["peak_heap_size"] == 5
+    assert prof["events_processed"] == 0
+    sim.run()
+    prof = sim.profile()
+    assert prof["now"] == 5.0
+    assert prof["heap_size"] == 0
+    assert prof["peak_heap_size"] == 5
+    assert prof["events_processed"] == 5
+    assert prof["callbacks_run"] == 1
+
+
 def test_step_on_empty_queue_raises():
     with pytest.raises(RuntimeError):
         Simulator().step()
