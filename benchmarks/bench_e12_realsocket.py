@@ -1,0 +1,163 @@
+"""E12 — wall-clock arm: the real-socket transport, measured in real time.
+
+Every other experiment reports simulated seconds; this one reports what
+the machine actually does.  The grid is built on the ``"aio"`` backend
+(:class:`~repro.net.aio_transport.AioTransport`), so WAN edges — user
+workstation to gateway — carry length-prefixed frames over real TCP
+through the OS loopback, while the protocol stack above stays byte-for-
+byte the one the simulated numbers were taken from.
+
+Two arms:
+
+**round-trip sweep** (``transport.msgs_per_s``)
+    A plan sends bursts of control-plane-sized messages across the WAN
+    edge and waits for their delivery events (each one completes when
+    the frame has crossed the socket and been read back by the server
+    tier).  Swept over payload sizes; the headline figure is the small-
+    message rate, the transport's per-message overhead.
+
+**stream fetch** (``transport.stream_MBps``)
+    A job stages a file into its Uspace, then the client fetches it
+    back through the full chunked data plane (PR-3 stream frames) over
+    the socket.  Headline: payload MB per wall second.
+
+Both are wall-clock numbers and therefore machine-dependent: the
+perf-trajectory gate treats them as **warn-only**
+(:mod:`benchmarks.compare_bench`), unlike the deterministic E10/E11
+counters.  Smoke mode shrinks the sweep to a crash gate.
+"""
+
+import asyncio
+import time
+
+from benchmarks._util import (
+    print_table,
+    run_as_script,
+    smoke_mode,
+    write_bench_artifact,
+)
+from repro.api.aio import AsyncGridSession
+from repro.grid import build_grid
+
+SITE = "FZJ"
+MACHINE = "FZJ-T3E"
+#: Burst window: frames in flight per wait, enough to keep the socket
+#: busy without turning the sweep into a memory benchmark.
+WINDOW = 32
+
+
+def _params():
+    if smoke_mode():
+        return {"n_msgs": 200, "sizes": [64], "stream_bytes": 1 << 18}
+    return {
+        "n_msgs": 2000,
+        "sizes": [64, 4096, 65536],
+        "stream_bytes": 4 << 20,
+    }
+
+
+def _burst_plan(net, src, dst, n_msgs, size_bytes):
+    """Send ``n_msgs`` across the WAN edge in windows of WINDOW frames."""
+    sent = 0
+    while sent < n_msgs:
+        burst = min(WINDOW, n_msgs - sent)
+        events = [
+            net.send(src, dst, payload=b"x" * min(size_bytes, 256),
+                     size_bytes=size_bytes, channel="bench", deliver=False)
+            for _ in range(burst)
+        ]
+        for event in events:
+            yield event
+        sent += burst
+    return sent
+
+
+async def _measure(params):
+    grid = build_grid({SITE: [MACHINE]}, seed=7, transport="aio")
+    user = grid.add_user("Bench User", logins={SITE: "bench"})
+    session = await AsyncGridSession.connect(grid, user, SITE)
+    net = grid.network
+    ws = user.browser.host.name
+    gw = grid.usites[SITE].gateway_host.name
+
+    # -- arm 1: round-trip sweep over message sizes ---------------------------
+    sweep = []
+    for size in params["sizes"]:
+        n = params["n_msgs"]
+        proc = grid.sim.process(
+            _burst_plan(net, ws, gw, n, size), name=f"bench:burst:{size}")
+        t0 = time.perf_counter()
+        await net.drive(proc)
+        elapsed = time.perf_counter() - t0
+        sweep.append({
+            "size_bytes": size,
+            "msgs": n,
+            "wall_s": elapsed,
+            "msgs_per_s": n / elapsed if elapsed > 0 else 0.0,
+        })
+
+    # -- arm 2: stream fetch through the chunked data plane -------------------
+    content = b"e12-stream-payload--" * (params["stream_bytes"] // 20)
+    user.workstation.fs.write("/home/bench/payload.dat", content)
+    job = await session.new_job("e12-stream", vsite=MACHINE)
+    imp = job.import_from_workstation("/home/bench/payload.dat", "payload.dat")
+    work = job.script_task(
+        "touch", "#!/bin/sh\nwc payload.dat\n", simulated_runtime_s=5.0)
+    job.depends(imp, work, files=["payload.dat"])
+    handle = await session.submit(job, workstation=user.workstation)
+    final = await handle.wait()
+    assert final.status == "successful", final.status
+
+    t0 = time.perf_counter()
+    fetched = await handle.fetch_file("payload.dat")
+    stream_wall = time.perf_counter() - t0
+    assert fetched == content
+
+    stats = {
+        "socket_frames": net.socket_frames,
+        "socket_bytes": net.socket_bytes,
+    }
+    await net.aclose()
+    return sweep, len(content), stream_wall, stats
+
+
+def test_e12_realsocket_transport(benchmark):
+    params = _params()
+    sweep, stream_len, stream_wall, stats = benchmark.pedantic(
+        lambda: asyncio.run(_measure(params)), rounds=1
+    )
+
+    stream_mbps = (stream_len / (1 << 20)) / stream_wall if stream_wall else 0.0
+    headline = sweep[0]["msgs_per_s"]  # small-message per-frame overhead
+
+    print_table(
+        "E12+: real-socket transport, wall clock",
+        ["arm", "payload", "volume", "wall (s)", "rate"],
+        [
+            *(
+                ("round-trip", f"{row['size_bytes']} B", f"{row['msgs']} msgs",
+                 f"{row['wall_s']:.3f}", f"{row['msgs_per_s']:,.0f} msgs/s")
+                for row in sweep
+            ),
+            ("stream fetch", f"{stream_len / (1 << 20):.2f} MiB", "1 file",
+             f"{stream_wall:.3f}", f"{stream_mbps:.1f} MB/s"),
+        ],
+    )
+
+    assert headline > 0
+    assert stats["socket_frames"] > sum(row["msgs"] for row in sweep)
+
+    write_bench_artifact("e12", {
+        "params": params,
+        "transport": {
+            "msgs_per_s": headline,
+            "stream_MBps": stream_mbps,
+        },
+        "sweep": sweep,
+        "stream": {"bytes": stream_len, "wall_s": stream_wall},
+        "socket": stats,
+    })
+
+
+if __name__ == "__main__":
+    run_as_script(test_e12_realsocket_transport)

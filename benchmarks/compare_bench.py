@@ -76,6 +76,12 @@ METRIC_SPECS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("jain_fairness", "higher", "fail"),
         MetricSpec("makespan_federated_s", "lower", "warn"),
     ),
+    # E12 is wall-clock by construction (real sockets), so both metrics
+    # are warn-only: runner noise must not gate merges.
+    "e12": (
+        MetricSpec("transport.msgs_per_s", "higher", "warn"),
+        MetricSpec("transport.stream_MBps", "higher", "warn"),
+    ),
 }
 
 

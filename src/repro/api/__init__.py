@@ -1,0 +1,23 @@
+"""The public facade package: one session API, two execution modes.
+
+``repro.api`` re-exports the blocking surface unchanged —
+:class:`GridSession` and :class:`JobHandle` live where they always did::
+
+    from repro.api import GridSession, JobHandle
+
+The package splits into:
+
+- :mod:`repro.api.sync` — the blocking :class:`GridSession` (simkernel
+  transport only; every verb drives the simulator to completion);
+- :mod:`repro.api.aio` — :class:`AsyncGridSession` /
+  :class:`AsyncJobHandle`, awaitable verbs over either transport
+  backend (re-exported here for convenience);
+- :mod:`repro.api._core` — the shared :class:`~repro.api._core.SessionCore`
+  plan generators both facades drive, so behavior cannot drift.
+"""
+
+from repro.api._core import JobHandle
+from repro.api.aio import AsyncGridSession, AsyncJobHandle
+from repro.api.sync import GridSession
+
+__all__ = ["AsyncGridSession", "AsyncJobHandle", "GridSession", "JobHandle"]

@@ -1,28 +1,25 @@
-"""The public facade: one session object for the whole user tier.
+"""The shared session core both facades drive.
 
-The paper's client tier is three applets (browser, JPA, JMC) that each
-expose generator methods to be driven inside a simulator process.  That
-is faithful to section 4.1 but awkward as a *library* surface: every
-caller had to spell the connect handshake, hold three objects, and wrap
-each call in ``sim.process``/``sim.run``.  :class:`GridSession` folds
-the tier into four verbs —
+Every facade verb — submit with broker failover, subscription wait with
+steal-following, bulk fetch, the lot — is implemented here exactly once,
+as a *plan*: a simkernel generator that yields the events it waits on.
+The blocking :class:`~repro.api.sync.GridSession` drives a plan with
+``sim.run(until=process)``; the asyncio
+:class:`~repro.api.aio.AsyncGridSession` hands the same process to the
+transport pump.  Because the two facades share the generator bodies,
+their observable behavior cannot drift — the property the backend-parity
+test suite pins down.
 
-    >>> session = GridSession(grid, "Alice Debye", "FZJ")
-    >>> handle = session.submit(job)          # -> JobHandle
-    >>> session.status(handle)                # -> JobStatusView
-    >>> session.wait(handle)                  # -> terminal JobStatusView
-    >>> session.outcome(handle)               # -> AJOOutcome tree
-
-— and layers the resilience mechanisms of :mod:`repro.faults` on top:
+The resilience mechanisms of :mod:`repro.faults` live in these plans:
 
 * a :class:`~repro.faults.breaker.CircuitBreaker` guards the protocol
   client, so a dead gateway fails fast instead of burning retry budget;
 * a consign that times out is re-targeted through the section-6
-  :class:`~repro.ext.broker.ResourceBroker` to the next-best Vsite
+  :class:`~repro.broker.placement.ResourceBroker` to the next-best Vsite
   (possibly at another Usite — the session reconnects transparently);
-* :meth:`status` serves the last known view marked ``stale`` when the
+* ``status`` serves the last known view marked ``stale`` when the
   gateway is unreachable (graceful degradation, never a blank screen);
-* :meth:`wait` rides out gateway/NJS crash windows that outlast the
+* ``wait`` rides out gateway/NJS crash windows that outlast the
   protocol retry policy.
 
 Everything here is sugar over the applet classes — the generators in
@@ -32,7 +29,6 @@ that interleave inside one simulation.
 
 from __future__ import annotations
 
-import json
 import typing
 from dataclasses import dataclass
 
@@ -54,13 +50,16 @@ if typing.TYPE_CHECKING:
     from repro.client.browser import UnicoreSession
     from repro.grid.build import Grid, GridUser
 
-__all__ = ["GridSession", "JobHandle"]
+__all__ = ["JobHandle", "SessionCore"]
 
 #: Errors that mean "the road to the Usite is out" (or its NJS is), not
 #: "the job is bad" — the ones worth retrying elsewhere.
 _TRANSPORT_ERRORS = (
     RetryExhausted, CircuitOpenError, ConnectionLost, ServiceUnavailable,
 )
+
+#: One per-Usite client tier: authenticated session, JPA, JMC.
+_Tier = tuple["UnicoreSession", JobPreparationAgent, JobMonitorController]
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,20 +85,19 @@ class JobHandle:
         return self.job_id
 
 
-class GridSession:
-    """A user's connection to the grid, with resilience built in.
+class SessionCore:
+    """State plus plan generators for one user's grid session.
 
-    Construction runs the full browser handshake (mutual SSL, applet
-    download and signature check, resource-page fetch) to the named home
-    Usite, then arms a circuit breaker on the protocol client.  All
-    methods are *blocking* from the caller's point of view: each drives
-    the underlying applet generator to completion inside the simulator,
-    exactly like :meth:`repro.grid.build.Grid.connect_user`.
+    Not a public entry point: instantiate
+    :class:`~repro.api.sync.GridSession` or
+    :class:`~repro.api.aio.AsyncGridSession` instead.  The ``*_plan``
+    methods return simkernel generators; a facade runs
+    :meth:`setup_plan` once after construction, then one plan per verb.
     """
 
     #: How many broker-ranked alternates to try after a consign timeout.
     FAILOVER_CANDIDATES = 3
-    #: :meth:`wait` tolerance for outages longer than the retry policy:
+    #: ``wait`` tolerance for outages longer than the retry policy:
     #: how many times to re-enter the poll loop, and the pause between
     #: attempts (comfortably past the breaker cooldown).
     WAIT_OUTAGE_RETRIES = 8
@@ -126,19 +124,17 @@ class GridSession:
         self.usite = usite
         self.failover_enabled = failover
         self.sim = grid.sim
+        self.breaker = breaker
         self._telemetry = telemetry_for(grid.sim)
         #: Usite name -> (UnicoreSession, JPA, JMC); the home site is
-        #: connected eagerly, failover sites lazily.
-        self._tiers: dict[str, tuple["UnicoreSession", JobPreparationAgent,
-                                     JobMonitorController]] = {}
+        #: connected by :meth:`setup_plan`, failover sites lazily.
+        self._tiers: dict[str, _Tier] = {}
+        #: Connects in flight (one per Usite), so concurrent plans on an
+        #: async facade share a handshake instead of racing two.
+        self._tier_waits: dict[str, object] = {}
         #: Original job id -> live broker entry, for late-bound jobs:
         #: after a steal the entry names the job's *current* id and site.
         self._brokered: dict[str, "BrokerJob"] = {}
-        session, _, _ = self._connect(usite)
-        if breaker is None:
-            breaker = CircuitBreaker(grid.sim, name=f"{self.user.name}@{usite}")
-        session.client.breaker = breaker
-        self.breaker = breaker
 
     @property
     def session(self) -> "UnicoreSession":
@@ -146,24 +142,40 @@ class GridSession:
         return self._tiers[self.usite][0]
 
     # -- plumbing ------------------------------------------------------------
-    def _connect(
-        self, usite: str
-    ) -> tuple["UnicoreSession", JobPreparationAgent, JobMonitorController]:
-        tier = self._tiers.get(usite)
-        if tier is None:
-            session = self.grid.connect_user(self.user, usite)
+    def setup_plan(self) -> typing.Generator:
+        """Connect the home tier and arm the circuit breaker (run once)."""
+        session, _, _ = yield from self._connect_plan(self.usite)
+        if self.breaker is None:
+            self.breaker = CircuitBreaker(
+                self.sim, name=f"{self.user.name}@{self.usite}"
+            )
+        session.client.breaker = self.breaker
+        return self
+
+    def _connect_plan(self, usite: str) -> typing.Generator:
+        """Yield the (session, JPA, JMC) tier for ``usite``, connecting once."""
+        while True:
+            tier = self._tiers.get(usite)
+            if tier is not None:
+                return tier
+            pending = self._tier_waits.get(usite)
+            if pending is None:
+                break
+            yield pending  # another plan is mid-handshake; share its result
+        done = self.sim.event(name=f"tier:{usite}")
+        self._tier_waits[usite] = done
+        try:
+            session = yield from self.grid.connect_plan(self.user, usite)
             tier = (
                 session,
                 JobPreparationAgent(session),
                 JobMonitorController(session),
             )
             self._tiers[usite] = tier
+        finally:
+            del self._tier_waits[usite]
+            done.succeed()  # waiters re-check _tiers (and retry on failure)
         return tier
-
-    def _run(self, gen, name: str):
-        """Drive one applet generator to completion (blocking pattern)."""
-        proc = self.sim.process(gen, name=f"api:{name}:{self.user.name}")
-        return self.sim.run(until=proc)
 
     @staticmethod
     def _job_id(handle: "JobHandle | str") -> str:
@@ -179,39 +191,34 @@ class GridSession:
             return entry.job_id, entry.usite
         return job_id, usite
 
-    def _target(
-        self, handle: "JobHandle | str"
-    ) -> tuple[JobMonitorController, str]:
+    def _target_plan(self, handle: "JobHandle | str") -> typing.Generator:
         job_id, usite = self._resolve(handle)
-        return self._connect(usite)[2], job_id
-
-    def _jmc_for(self, handle: "JobHandle | str") -> JobMonitorController:
-        return self._target(handle)[0]
+        tier = yield from self._connect_plan(usite)
+        return tier[2], job_id
 
     # -- authoring -----------------------------------------------------------
-    def new_job(
+    def new_job_plan(
         self,
         name: str,
         vsite: str | None = None,
         usite: str | None = None,
         account_group: str = "",
-    ) -> JobBuilder:
+    ) -> typing.Generator:
         """A builder bound for ``vsite`` (default: the home Usite's first).
 
         Naming another ``usite`` authors the job against that site's
-        gateway instead; :meth:`submit` routes it there automatically.
+        gateway instead; the submit plan routes it there automatically.
         """
         usite = usite or self.usite
         if vsite is None:
             vsite = next(iter(self.grid.usites[usite].vsites))
-        return self._connect(usite)[1].new_job(
-            name, vsite=vsite, account_group=account_group
-        )
+        tier = yield from self._connect_plan(usite)
+        return tier[1].new_job(name, vsite=vsite, account_group=account_group)
 
     # -- the four verbs ------------------------------------------------------
-    def submit(
+    def submit_plan(
         self, job: JobBuilder, workstation=None, broker: bool = False
-    ) -> JobHandle:
+    ) -> typing.Generator:
         """Consign ``job``; on timeout, fail over via the resource broker.
 
         Returns a :class:`JobHandle` naming the site that accepted the
@@ -228,33 +235,36 @@ class GridSession:
         raise :class:`~repro.broker.errors.BrokerQuotaError` immediately.
         """
         if broker:
-            return self._submit_brokered(job, workstation)
+            handle = yield from self._submit_brokered_plan(job, workstation)
+            return handle
         workstation = workstation or self.user.workstation
         ajo = job.ajo
         home_vsite, home_usite = ajo.vsite, ajo.usite
+        tier = yield from self._connect_plan(ajo.usite)
         try:
-            job_id = self._run(
-                self._connect(ajo.usite)[1].submit(job, workstation=workstation),
-                name=f"submit:{ajo.name}",
-            )
+            job_id = yield from tier[1].submit(job, workstation=workstation)
             return self._handle_for(job_id, ajo, failed_over=False)
         except _TRANSPORT_ERRORS as primary_err:
             if not self.failover_enabled:
                 raise
-            handle = self._submit_failover(job, workstation, primary_err)
+            handle = yield from self._submit_failover_plan(
+                job, workstation, primary_err
+            )
             if handle is None:
                 ajo.vsite, ajo.usite = home_vsite, home_usite
                 raise
             return handle
 
-    def _submit_brokered(self, job: JobBuilder, workstation) -> JobHandle:
-        """The late-binding path: enqueue, then block until first bound.
+    def _submit_brokered_plan(
+        self, job: JobBuilder, workstation
+    ) -> typing.Generator:
+        """The late-binding path: enqueue, then wait until first bound.
 
         The dispatch factory re-targets the root group to whatever
         destination the broker picks and consigns through this session's
         per-site tiers; those are connected eagerly here because the
-        factory runs *inside* the simulation, where the connect helper
-        (which drives ``sim.run`` itself) cannot be used.
+        factory runs *inside* the simulation, past the point where a
+        handshake could still be interleaved.
         """
         federation = getattr(self.grid, "broker", None)
         if federation is None:
@@ -265,7 +275,7 @@ class GridSession:
         workstation = workstation or self.user.workstation
         ajo = job.ajo
         for usite in self.grid.usites:
-            self._connect(usite)
+            yield from self._connect_plan(usite)
 
         def dispatch(usite: str, vsite: str):
             ajo.vsite, ajo.usite = vsite, usite
@@ -279,7 +289,7 @@ class GridSession:
             dispatch=dispatch,
             bind_timeout_s=self.BROKER_BIND_TIMEOUT_S,
         )
-        self.sim.run(until=entry.bound)
+        yield entry.bound
         if not entry.job_id:
             raise NoCapacityError(
                 f"broker could not place job {ajo.name!r}: "
@@ -300,9 +310,9 @@ class GridSession:
             failed_over=failed_over,
         )
 
-    def _submit_failover(
+    def _submit_failover_plan(
         self, job: JobBuilder, workstation, primary_err: Exception
-    ) -> JobHandle | None:
+    ) -> typing.Generator:
         """Re-target the AJO to broker-ranked alternates, best first."""
         ajo = job.ajo
         failed_vsite = ajo.vsite
@@ -329,10 +339,8 @@ class GridSession:
             )
             ajo.vsite, ajo.usite = cand.vsite, cand.usite
             try:
-                job_id = self._run(
-                    self._connect(cand.usite)[1].submit(job, workstation=workstation),
-                    name=f"failover:{ajo.name}",
-                )
+                tier = yield from self._connect_plan(cand.usite)
+                job_id = yield from tier[1].submit(job, workstation=workstation)
             except ReproError as err:
                 # This alternate is down or refuses the user; try the next.
                 tracer.end_span(span, error=err)
@@ -366,24 +374,21 @@ class GridSession:
                         seen.append(item)
         return seen
 
-    def status(
+    def status_plan(
         self, handle: "JobHandle | str", allow_stale: bool = True
-    ) -> JobStatusView:
+    ) -> typing.Generator:
         """The job's status tree; a cached view marked stale during outages."""
-        jmc, job_id = self._target(handle)
-        tree = self._run(
-            jmc.status(job_id, allow_stale=allow_stale),
-            name="status",
-        )
+        jmc, job_id = yield from self._target_plan(handle)
+        tree = yield from jmc.status(job_id, allow_stale=allow_stale)
         return JobStatusView.from_dict(tree)
 
-    def wait(
+    def wait_plan(
         self,
         handle: "JobHandle | str",
         max_polls: int = 10_000,
         subscribe: bool = True,
-    ) -> JobStatusView:
-        """Block until the job is terminal, riding out crash windows.
+    ) -> typing.Generator:
+        """Wait until the job is terminal, riding out crash windows.
 
         The default path holds a completion-event subscription open at
         the gateway (renewed in long holds) instead of polling;
@@ -408,12 +413,10 @@ class GridSession:
                 and not entry.job_id
             ):
                 # Stolen, not yet rebound: let the dispatch tick run.
-                self.advance(self.BROKER_REBIND_WAIT_S)
+                yield self.sim.timeout(self.BROKER_REBIND_WAIT_S)
                 continue
-            jmc, job_id = self._target(handle)
-            tree = self._run(
-                self._wait_gen(jmc, job_id, max_polls, subscribe), name="wait"
-            )
+            jmc, job_id = yield from self._target_plan(handle)
+            tree = yield from self._wait_gen(jmc, job_id, max_polls, subscribe)
             new_id, _ = self._resolve(handle)
             if new_id != job_id:
                 steal_grace = self.STEAL_GRACE_ROUNDS
@@ -431,7 +434,7 @@ class GridSession:
                 and steal_grace > 0
             ):
                 steal_grace -= 1
-                self.advance(self.BROKER_REBIND_WAIT_S)
+                yield self.sim.timeout(self.BROKER_REBIND_WAIT_S)
                 continue
             return JobStatusView.from_dict(tree)
 
@@ -441,7 +444,7 @@ class GridSession:
         job_id: str,
         max_polls: int,
         subscribe: bool = True,
-    ):
+    ) -> typing.Generator:
         for attempt in range(self.WAIT_OUTAGE_RETRIES + 1):
             try:
                 result = yield from jmc.wait_for_completion(
@@ -454,53 +457,56 @@ class GridSession:
                 self._telemetry.metrics.counter("api.wait_retries").inc()
                 yield self.sim.timeout(self.WAIT_RETRY_DELAY_S)
 
-    def outcome(self, handle: "JobHandle | str"):
+    def outcome_plan(self, handle: "JobHandle | str") -> typing.Generator:
         """The full Outcome tree (stdout/stderr included) of a finished job."""
-        jmc, job_id = self._target(handle)
-        return self._run(jmc.outcome(job_id), name="outcome")
+        jmc, job_id = yield from self._target_plan(handle)
+        result = yield from jmc.outcome(job_id)
+        return result
 
-    def cancel(self, handle: "JobHandle | str") -> dict:
+    def cancel_plan(self, handle: "JobHandle | str") -> typing.Generator:
         """Abort the job wherever its parts currently are."""
-        jmc, job_id = self._target(handle)
-        return self._run(jmc.cancel(job_id), name="cancel")
+        jmc, job_id = yield from self._target_plan(handle)
+        result = yield from jmc.cancel(job_id)
+        return result
 
-    # -- the rest of the JMC, facaded for completeness -----------------------
-    def hold(self, handle: "JobHandle | str") -> dict:
-        jmc, job_id = self._target(handle)
-        return self._run(jmc.hold(job_id), name="hold")
+    # -- the rest of the JMC, planned for completeness -----------------------
+    def hold_plan(self, handle: "JobHandle | str") -> typing.Generator:
+        jmc, job_id = yield from self._target_plan(handle)
+        result = yield from jmc.hold(job_id)
+        return result
 
-    def resume(self, handle: "JobHandle | str") -> dict:
-        jmc, job_id = self._target(handle)
-        return self._run(jmc.resume(job_id), name="resume")
+    def resume_plan(self, handle: "JobHandle | str") -> typing.Generator:
+        jmc, job_id = yield from self._target_plan(handle)
+        result = yield from jmc.resume(job_id)
+        return result
 
-    def list_jobs(self, usite: str | None = None) -> list[JobListing]:
+    def list_jobs_plan(self, usite: str | None = None) -> typing.Generator:
         """The user's jobs at one Usite (default: the home site)."""
-        jmc = self._connect(usite or self.usite)[2]
-        rows = self._run(jmc.list_jobs(), name="list")
+        tier = yield from self._connect_plan(usite or self.usite)
+        rows = yield from tier[2].list_jobs()
         return [JobListing.from_dict(row) for row in rows]
 
-    def fetch_file(
+    def fetch_file_plan(
         self, handle: "JobHandle | str", path: str, save_as: str | None = None
-    ) -> bytes:
+    ) -> typing.Generator:
         """Bring one Uspace file back to the user's workstation."""
-        jmc, job_id = self._target(handle)
-        return self._run(
-            jmc.fetch_file(
-                job_id, path,
-                workstation=self.user.workstation, save_as=save_as,
-            ),
-            name="fetch",
+        jmc, job_id = yield from self._target_plan(handle)
+        content = yield from jmc.fetch_file(
+            job_id, path,
+            workstation=self.user.workstation, save_as=save_as,
         )
+        return content
 
-    def dispose(self, handle: "JobHandle | str") -> dict:
-        jmc, job_id = self._target(handle)
-        return self._run(jmc.dispose(job_id), name="dispose")
+    def dispose_plan(self, handle: "JobHandle | str") -> typing.Generator:
+        jmc, job_id = yield from self._target_plan(handle)
+        result = yield from jmc.dispose(job_id)
+        return result
 
-    def render(self, view: JobStatusView) -> str:
+    def sleep_plan(self, seconds: float) -> typing.Generator:
+        """Let simulated time pass (jobs run; nothing blocks on it)."""
+        yield self.sim.timeout(seconds)
+
+    @staticmethod
+    def render(view: JobStatusView) -> str:
         """The JMC's colored status tree, from a typed view."""
         return JobMonitorController.render_tree(view.to_dict())
-
-    # -- simulation helper ---------------------------------------------------
-    def advance(self, seconds: float) -> None:
-        """Let simulated time pass (jobs run; nothing blocks on it)."""
-        self.sim.run(until=self.sim.now + seconds)

@@ -28,7 +28,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     # net
-    "NetworkError", "HostUnreachable", "ConnectionLost", "FrameError",
+    "NetworkError", "HostUnreachable", "ConnectionLost", "ConnectionRefused",
+    "ConnectionReset", "FrameError", "FrameDecodeError", "TransportMismatch",
     # server
     "ServerError", "ConsignError", "IncarnationError", "UnknownUnicoreJobError",
     # batch
@@ -91,7 +92,11 @@ _HOMES = {
     "NetworkError": "repro.net.errors",
     "HostUnreachable": "repro.net.errors",
     "ConnectionLost": "repro.net.errors",
+    "ConnectionRefused": "repro.net.errors",
+    "ConnectionReset": "repro.net.errors",
     "FrameError": "repro.net.errors",
+    "FrameDecodeError": "repro.net.errors",
+    "TransportMismatch": "repro.net.errors",
     "ServerError": "repro.server.errors",
     "ConsignError": "repro.server.errors",
     "IncarnationError": "repro.server.errors",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.batch.machines import machine
 from repro.client.browser import Browser, UnicoreSession
-from repro.net.transport import Network
+from repro.net.transport import Transport, TransportSpec, resolve_transport
 from repro.security.applet import AppletBundle, SignedApplet, sign_applet
 from repro.security.ca import CertificateAuthority, CertificateStore
 from repro.security.x509 import CertificateRole, DistinguishedName
@@ -55,7 +55,7 @@ class GridUser:
 class Grid:
     """A running multi-site UNICORE deployment."""
 
-    def __init__(self, sim: Simulator, network: Network, ca: CertificateAuthority) -> None:
+    def __init__(self, sim: Simulator, network: Transport, ca: CertificateAuthority) -> None:
         self.sim = sim
         self.network = network
         self.ca = ca
@@ -119,6 +119,9 @@ class Grid:
         self._user_seq += 1
         host_name = f"ws{self._user_seq}.{cn.split()[0].lower()}"
         self.network.add_host(host_name)
+        # Workstations sit on the user's side of the WAN boundary: a
+        # realtime transport carries their gateway traffic over sockets.
+        self.network.mark_wan(host_name)
         for usite_name in home_sites or self.usites:
             # One access line per gateway host, so a load-balanced Usite
             # is reachable through any of its gateways.
@@ -144,20 +147,31 @@ class Grid:
         return user
 
     # -- convenience -------------------------------------------------------------
-    def connect_user(
+    def connect_plan(
         self, user: GridUser, usite_name: str, gateway: int | None = None
-    ) -> UnicoreSession:
-        """Run the browser-connect process to completion (setup helper).
+    ) -> typing.Generator:
+        """The §4.1 connect sequence as a plan generator (backend-neutral).
 
         On a multi-gateway Usite, sessions are spread round-robin over
-        the gateways unless ``gateway`` pins a specific index.
+        the gateways unless ``gateway`` pins a specific index.  Both
+        session facades drive this same generator — the blocking one via
+        :meth:`connect_user`, the async one through the transport pump.
         """
         usite = self.usites[usite_name]
         if gateway is None:
             gateway = self._gateway_rr.get(usite_name, 0)
             self._gateway_rr[usite_name] = (gateway + 1) % len(usite.gateways)
+        session = yield from user.browser.connect(
+            usite, gateway=usite.gateways[gateway]
+        )
+        return session
+
+    def connect_user(
+        self, user: GridUser, usite_name: str, gateway: int | None = None
+    ) -> UnicoreSession:
+        """Run the browser-connect plan to completion (blocking helper)."""
         proc = self.sim.process(
-            user.browser.connect(usite, gateway=usite.gateways[gateway]),
+            self.connect_plan(user, usite_name, gateway),
             name=f"connect:{user.name}@{usite_name}",
         )
         return typing.cast(UnicoreSession, self.sim.run(until=proc))
@@ -195,15 +209,20 @@ def build_grid(
     key_bits: int = 384,
     gateways: int | dict[str, int] = 1,
     max_active_per_user: int | None = None,
+    transport: "TransportSpec | str | None" = None,
 ) -> Grid:
     """Build a grid with the given ``{usite: [machine names]}`` layout.
 
     ``gateways`` deploys that many load-balanced gateways per Usite
     (or per-site counts as a ``{usite: n}`` mapping).
     ``max_active_per_user`` sets every site's fair-use concurrency cap.
+    ``transport`` picks the message fabric: ``None``/``"sim"`` for the
+    deterministic simkernel backend, ``"aio"`` (or a
+    :class:`~repro.net.transport.TransportSpec` with options) for real
+    asyncio TCP sockets on the WAN edges.
     """
     sim = Simulator()
-    network = Network(sim, seed=seed)
+    network = resolve_transport(transport, sim, seed=seed)
     ca = CertificateAuthority(key_bits=key_bits, seed=seed)
     grid = Grid(sim, network, ca)
     grid.applets.update(_build_applets(ca))

@@ -1,12 +1,19 @@
-"""Simulated wide-area network between UNICORE components.
+"""The network layer: one wire protocol over two interchangeable fabrics.
 
 The paper's components talk over the Internet (https between browser,
 gateway, and peer NJSs; IP sockets across the firewall).  This package
-models that fabric on the simulation kernel:
+carries that traffic behind a pluggable transport interface:
 
-- :mod:`repro.net.transport` — hosts with mailboxes, point-to-point links
-  with latency, bandwidth, FIFO serialization, and Bernoulli loss;
-- :mod:`repro.net.https` — https-style channels over the transport:
+- :mod:`repro.net.transport` — the backend-neutral :class:`Transport`
+  surface plus :class:`TransportSpec`/registry for choosing a fabric;
+- :mod:`repro.net.sim_transport` — the deterministic simkernel backend:
+  hosts with mailboxes, point-to-point links with latency, bandwidth,
+  FIFO serialization, and Bernoulli loss (every test and deterministic
+  benchmark runs here);
+- :mod:`repro.net.aio_transport` — the real ``asyncio`` TCP backend:
+  WAN edges carry the same messages as length-prefixed frames over
+  actual sockets (:mod:`repro.net.wire`), measured in wall clock;
+- :mod:`repro.net.https` — https-style channels over either fabric:
   certificate handshake round-trips plus per-record framing overhead
   (what makes bulk NJS-to-NJS transfer slow, experiment E5), and a
   direct-socket channel as the faster alternative the paper says
@@ -15,12 +22,28 @@ models that fabric on the simulation kernel:
   that carry file bytes raw and chunked, so bulk transfers interleave
   with control messages and resume after a lost chunk.
 
-All randomness (loss) derives from a named RNG stream, so runs are
-deterministic.
+All simulated randomness (loss) derives from a named RNG stream, so
+sim-backend runs are deterministic.
 """
 
-from repro.net.errors import ConnectionLost, FrameError, HostUnreachable, NetworkError
-from repro.net.transport import Host, Link, Message, Network
+from repro.net.errors import (
+    ConnectionLost,
+    ConnectionRefused,
+    ConnectionReset,
+    FrameDecodeError,
+    FrameError,
+    HostUnreachable,
+    NetworkError,
+    TransportMismatch,
+)
+from repro.net.transport import (
+    Transport,
+    TransportSpec,
+    available_transports,
+    register_transport,
+    resolve_transport,
+)
+from repro.net.sim_transport import Host, Link, Message, Network
 from repro.net.https import DirectChannel, HttpsChannel, establish_https
 from repro.net.stream import (
     Frame,
@@ -34,8 +57,11 @@ from repro.net.stream import (
 
 __all__ = [
     "ConnectionLost",
+    "ConnectionRefused",
+    "ConnectionReset",
     "DirectChannel",
     "Frame",
+    "FrameDecodeError",
     "FrameError",
     "FrameType",
     "Host",
@@ -48,7 +74,13 @@ __all__ = [
     "OpenInfo",
     "StreamReassembler",
     "StreamSender",
+    "Transport",
+    "TransportMismatch",
+    "TransportSpec",
+    "available_transports",
     "decode_frame",
     "encode_frame",
     "establish_https",
+    "register_transport",
+    "resolve_transport",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.net.transport import Network
+from repro.net.sim_transport import Network
 from repro.security.ca import CertificateStore
 from repro.security.rsa import RSAKeyPair
 from repro.security.ssl import (

@@ -1,0 +1,248 @@
+"""The deterministic simkernel transport backend.
+
+A :class:`Network` owns named :class:`Host`\\ s and directed
+:class:`Link`\\ s.  Sending a message schedules its delivery after
+``queueing + size/bandwidth + latency`` simulated seconds, where queueing
+models FIFO serialization on the link (one transmission at a time, the
+behaviour that makes bulk transfers contend).  Each message is lost with
+the link's loss probability, drawn from a deterministic per-link stream;
+a lost message fails the sender's delivery event at the time the receiver
+would have noticed (one timeout interval), so protocols can react.
+
+This module is the ``"sim"`` implementation of the
+:class:`~repro.net.transport.Transport` interface — the backend every
+test, fault scenario, and deterministic benchmark runs on.  The real
+``asyncio`` TCP backend lives in :mod:`repro.net.aio_transport`; both
+are selected through :class:`~repro.net.transport.TransportSpec`.
+(Historically this module *was* ``repro.net.transport``; the old import
+path still resolves through a deprecation shim there.)
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.net.errors import ConnectionLost, HostUnreachable, NetworkError
+from repro.net.transport import Transport
+from repro.simkernel import Event, SimQueue, Simulator, Timeout
+from repro.simkernel.rng import derive_rng
+
+__all__ = ["Message", "Host", "Link", "Network"]
+
+#: How long a sender waits before concluding a message was lost.
+DEFAULT_TIMEOUT = 30.0
+
+
+@dataclass(slots=True)
+class Message:
+    """One unit in flight: opaque payload plus explicit wire size."""
+
+    sender: str
+    recipient: str
+    payload: object
+    size_bytes: int
+    #: Assigned by the owning :class:`Network` so ids (and the
+    #: ``delivery:{msg_id}`` event names) are deterministic per network,
+    #: independent of what else ran earlier in the process.
+    msg_id: int = 0
+    #: Free-form channel label ("https", "raw") for instrumentation.
+    channel: str = "raw"
+
+
+class Host:
+    """A named machine with an inbox that server processes consume."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.inbox = SimQueue(sim)
+        #: Instrumentation: (bytes, messages) received.
+        self.received_bytes = 0
+        self.received_messages = 0
+
+    def receive(self) -> Event:
+        """Event firing with the next inbound :class:`Message`."""
+        return self.inbox.pop()
+
+    def _deliver(self, message: Message) -> None:
+        self.received_bytes += message.size_bytes
+        self.received_messages += 1
+        self.inbox.push(message)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name}>"
+
+
+class Link:
+    """A directed link with latency, bandwidth, FIFO queueing, and loss."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: str,
+        dst: str,
+        latency_s: float,
+        bandwidth_Bps: float,
+        loss_probability: float,
+        rng,
+    ) -> None:
+        if latency_s < 0:
+            raise NetworkError("latency must be non-negative")
+        if bandwidth_Bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError("loss probability must be in [0, 1)")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency_s = latency_s
+        self.bandwidth_Bps = bandwidth_Bps
+        self.loss_probability = loss_probability
+        self._rng = rng
+        self._busy_until = 0.0
+        #: Instrumentation.
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+    def transmission_delay(self, size_bytes: int) -> float:
+        return size_bytes / self.bandwidth_Bps
+
+    def schedule(self, message: Message, deliver: typing.Callable[[Message], None]) -> Event:
+        """Schedule delivery; returns the sender's delivery event.
+
+        The event succeeds at delivery time, or fails with
+        :class:`ConnectionLost` after a timeout if the message is lost.
+        """
+        now = self.sim.now
+        tx = self.transmission_delay(message.size_bytes)
+        start = max(now, self._busy_until)
+        self._busy_until = start + tx
+        arrival = start + tx + self.latency_s
+
+        self.bytes_sent += message.size_bytes
+        self.messages_sent += 1
+
+        lost = self.loss_probability > 0 and self._rng.random() < self.loss_probability
+        if lost:
+            ev = self.sim.event(name=f"delivery:{message.msg_id}")
+            self.messages_lost += 1
+            self.sim.schedule_callback(
+                (arrival - now) + DEFAULT_TIMEOUT,
+                lambda: ev.fail(
+                    ConnectionLost(
+                        f"message {message.msg_id} {self.src}->{self.dst} lost"
+                    )
+                ),
+            )
+            return ev
+        # Delivered path: ONE queue entry per message.  The delivery event
+        # is scheduled directly at the arrival time with the inbox push as
+        # its first callback, so the receiver sees the message before any
+        # waiting sender resumes — same ordering as a separate callback,
+        # at half the event-queue traffic.
+        ev = Timeout(
+            self.sim, arrival - now, value=message,
+            name=f"delivery:{message.msg_id}",
+        )
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda _ev: deliver(message))
+        return ev
+
+
+class Network(Transport):
+    """The fabric: hosts plus links, with deterministic loss streams."""
+
+    kind = "sim"
+    realtime = False
+
+    def __init__(self, sim: Simulator, seed: int = 0) -> None:
+        self.sim = sim
+        self.seed = seed
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._msg_seq = count(1)
+
+    # -- topology -------------------------------------------------------------
+    def add_host(self, name: str) -> Host:
+        if name in self._hosts:
+            raise NetworkError(f"duplicate host {name!r}")
+        host = Host(self.sim, name)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise HostUnreachable(f"unknown host {name!r}") from None
+
+    def link(
+        self,
+        src: str,
+        dst: str,
+        latency_s: float = 0.010,
+        bandwidth_Bps: float = 1_250_000.0,  # 10 Mbit/s: 1999-era WAN
+        loss_probability: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Create a link (both directions unless ``symmetric=False``)."""
+        for h in (src, dst):
+            self.host(h)  # raises if unknown
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for a, b in pairs:
+            self._links[(a, b)] = Link(
+                self.sim,
+                a,
+                b,
+                latency_s=latency_s,
+                bandwidth_Bps=bandwidth_Bps,
+                loss_probability=loss_probability,
+                rng=derive_rng(self.seed, f"link:{a}->{b}"),
+            )
+
+    def get_link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise HostUnreachable(f"no link {src} -> {dst}") from None
+
+    # -- traffic ---------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: object,
+        size_bytes: int,
+        channel: str = "raw",
+        deliver: bool = True,
+    ) -> Event:
+        """Send; returns the delivery event (fails on loss after timeout).
+
+        With ``deliver=False`` the message still occupies the link and
+        counts in statistics but is not pushed into the destination inbox
+        (used for handshake flights the peer's logic handles inline).
+        """
+        if size_bytes < 0:
+            raise NetworkError("message size must be non-negative")
+        destination = self.host(dst)
+        link = self.get_link(src, dst)
+        message = Message(
+            sender=src, recipient=dst, payload=payload,
+            size_bytes=size_bytes, msg_id=next(self._msg_seq),
+            channel=channel,
+        )
+        sink = destination._deliver if deliver else (lambda _message: None)
+        return link.schedule(message, sink)
+
+    @property
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def total_bytes_sent(self) -> int:
+        return sum(link.bytes_sent for link in self._links.values())
+
+    def total_messages_lost(self) -> int:
+        return sum(link.messages_lost for link in self._links.values())

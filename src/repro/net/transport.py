@@ -1,201 +1,98 @@
-"""Hosts, links, and message delivery.
+"""The pluggable transport interface: one protocol, two fabrics.
 
-A :class:`Network` owns named :class:`Host`\\ s and directed
-:class:`Link`\\ s.  Sending a message schedules its delivery after
-``queueing + size/bandwidth + latency`` simulated seconds, where queueing
-models FIFO serialization on the link (one transmission at a time, the
-behaviour that makes bulk transfers contend).  Each message is lost with
-the link's loss probability, drawn from a deterministic per-link stream;
-a lost message fails the sender's delivery event at the time the receiver
-would have noticed (one timeout interval), so protocols can react.
+Every message in the reproduction — control-plane
+:class:`~repro.protocol.messages.Request`/``Reply`` envelopes, data-plane
+stream frames, handshake flights — crosses tiers through one call,
+``transport.send(src, dst, payload, size_bytes, ...)``.  This module
+defines that surface as an abstract :class:`Transport` so the fabric
+underneath is interchangeable:
+
+``"sim"``
+    :class:`repro.net.sim_transport.Network` — the deterministic
+    simkernel backend: virtual clock, modeled latency/bandwidth/loss.
+    Every test, fault scenario, and deterministic benchmark runs here.
+
+``"aio"``
+    :class:`repro.net.aio_transport.AioTransport` — a real ``asyncio``
+    TCP backend: WAN edges (user workstation ↔ gateway) carry the same
+    wire messages as length-prefixed frames over real sockets, so the
+    stack can serve actual concurrent clients and be measured in
+    wall-clock msgs/s and MB/s.
+
+Backend choice is one argument end to end:
+``build_grid(..., transport="aio")`` at construction, and the matching
+session facade (:class:`repro.api.GridSession` for ``sim``,
+:class:`repro.api.aio.AsyncGridSession` for either) at use.
+
+.. note::
+   The simkernel classes (``Message``, ``Host``, ``Link``, ``Network``,
+   ``DEFAULT_TIMEOUT``) historically lived in this module; they moved to
+   :mod:`repro.net.sim_transport` when the interface was factored out.
+   The old names still resolve here through a warn-once PEP 562 shim.
 """
 
 from __future__ import annotations
 
 import typing
 from dataclasses import dataclass, field
-from itertools import count
 
-from repro.net.errors import ConnectionLost, HostUnreachable, NetworkError
-from repro.simkernel import Event, SimQueue, Simulator, Timeout
-from repro.simkernel.rng import derive_rng
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel import Event, Simulator
 
-__all__ = ["Message", "Host", "Link", "Network"]
-
-#: How long a sender waits before concluding a message was lost.
-DEFAULT_TIMEOUT = 30.0
-
-
-@dataclass(slots=True)
-class Message:
-    """One unit in flight: opaque payload plus explicit wire size."""
-
-    sender: str
-    recipient: str
-    payload: object
-    size_bytes: int
-    #: Assigned by the owning :class:`Network` so ids (and the
-    #: ``delivery:{msg_id}`` event names) are deterministic per network,
-    #: independent of what else ran earlier in the process.
-    msg_id: int = 0
-    #: Free-form channel label ("https", "raw") for instrumentation.
-    channel: str = "raw"
+__all__ = [
+    "Transport",
+    "TransportSpec",
+    "available_transports",
+    "register_transport",
+    "resolve_transport",
+]
 
 
-class Host:
-    """A named machine with an inbox that server processes consume."""
+class Transport:
+    """The message fabric between UNICORE components.
 
-    def __init__(self, sim: Simulator, name: str) -> None:
-        self.sim = sim
-        self.name = name
-        self.inbox = SimQueue(sim)
-        #: Instrumentation: (bytes, messages) received.
-        self.received_bytes = 0
-        self.received_messages = 0
+    Concrete backends provide named hosts with inboxes, point-to-point
+    reachability, and :meth:`send`.  Server processes and protocol
+    clients are written against this surface only, so swapping the
+    fabric never touches their logic.
+    """
 
-    def receive(self) -> Event:
-        """Event firing with the next inbound :class:`Message`."""
-        return self.inbox.pop()
-
-    def _deliver(self, message: Message) -> None:
-        self.received_bytes += message.size_bytes
-        self.received_messages += 1
-        self.inbox.push(message)
-
-    def __repr__(self) -> str:
-        return f"<Host {self.name}>"
-
-
-class Link:
-    """A directed link with latency, bandwidth, FIFO queueing, and loss."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        src: str,
-        dst: str,
-        latency_s: float,
-        bandwidth_Bps: float,
-        loss_probability: float,
-        rng,
-    ) -> None:
-        if latency_s < 0:
-            raise NetworkError("latency must be non-negative")
-        if bandwidth_Bps <= 0:
-            raise NetworkError("bandwidth must be positive")
-        if not 0.0 <= loss_probability < 1.0:
-            raise NetworkError("loss probability must be in [0, 1)")
-        self.sim = sim
-        self.src = src
-        self.dst = dst
-        self.latency_s = latency_s
-        self.bandwidth_Bps = bandwidth_Bps
-        self.loss_probability = loss_probability
-        self._rng = rng
-        self._busy_until = 0.0
-        #: Instrumentation.
-        self.bytes_sent = 0
-        self.messages_sent = 0
-        self.messages_lost = 0
-
-    def transmission_delay(self, size_bytes: int) -> float:
-        return size_bytes / self.bandwidth_Bps
-
-    def schedule(self, message: Message, deliver: typing.Callable[[Message], None]) -> Event:
-        """Schedule delivery; returns the sender's delivery event.
-
-        The event succeeds at delivery time, or fails with
-        :class:`ConnectionLost` after a timeout if the message is lost.
-        """
-        now = self.sim.now
-        tx = self.transmission_delay(message.size_bytes)
-        start = max(now, self._busy_until)
-        self._busy_until = start + tx
-        arrival = start + tx + self.latency_s
-
-        self.bytes_sent += message.size_bytes
-        self.messages_sent += 1
-
-        lost = self.loss_probability > 0 and self._rng.random() < self.loss_probability
-        if lost:
-            ev = self.sim.event(name=f"delivery:{message.msg_id}")
-            self.messages_lost += 1
-            self.sim.schedule_callback(
-                (arrival - now) + DEFAULT_TIMEOUT,
-                lambda: ev.fail(
-                    ConnectionLost(
-                        f"message {message.msg_id} {self.src}->{self.dst} lost"
-                    )
-                ),
-            )
-            return ev
-        # Delivered path: ONE queue entry per message.  The delivery event
-        # is scheduled directly at the arrival time with the inbox push as
-        # its first callback, so the receiver sees the message before any
-        # waiting sender resumes — same ordering as a separate callback,
-        # at half the event-queue traffic.
-        ev = Timeout(
-            self.sim, arrival - now, value=message,
-            name=f"delivery:{message.msg_id}",
-        )
-        assert ev.callbacks is not None
-        ev.callbacks.append(lambda _ev: deliver(message))
-        return ev
-
-
-class Network:
-    """The fabric: hosts plus links, with deterministic loss streams."""
-
-    def __init__(self, sim: Simulator, seed: int = 0) -> None:
-        self.sim = sim
-        self.seed = seed
-        self._hosts: dict[str, Host] = {}
-        self._links: dict[tuple[str, str], Link] = {}
-        self._msg_seq = count(1)
+    #: Registry name of the backend (``"sim"``, ``"aio"``).
+    kind: str = "abstract"
+    #: True when sends involve real I/O that must be pumped by an event
+    #: loop.  The blocking :class:`~repro.api.GridSession` facade refuses
+    #: realtime transports; :class:`~repro.api.aio.AsyncGridSession`
+    #: drives either.
+    realtime: bool = False
 
     # -- topology -------------------------------------------------------------
-    def add_host(self, name: str) -> Host:
-        if name in self._hosts:
-            raise NetworkError(f"duplicate host {name!r}")
-        host = Host(self.sim, name)
-        self._hosts[name] = host
-        return host
+    def add_host(self, name: str):
+        raise NotImplementedError
 
-    def host(self, name: str) -> Host:
-        try:
-            return self._hosts[name]
-        except KeyError:
-            raise HostUnreachable(f"unknown host {name!r}") from None
+    def host(self, name: str):
+        raise NotImplementedError
 
     def link(
         self,
         src: str,
         dst: str,
         latency_s: float = 0.010,
-        bandwidth_Bps: float = 1_250_000.0,  # 10 Mbit/s: 1999-era WAN
+        bandwidth_Bps: float = 1_250_000.0,
         loss_probability: float = 0.0,
         symmetric: bool = True,
     ) -> None:
-        """Create a link (both directions unless ``symmetric=False``)."""
-        for h in (src, dst):
-            self.host(h)  # raises if unknown
-        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
-        for a, b in pairs:
-            self._links[(a, b)] = Link(
-                self.sim,
-                a,
-                b,
-                latency_s=latency_s,
-                bandwidth_Bps=bandwidth_Bps,
-                loss_probability=loss_probability,
-                rng=derive_rng(self.seed, f"link:{a}->{b}"),
-            )
+        raise NotImplementedError
 
-    def get_link(self, src: str, dst: str) -> Link:
-        try:
-            return self._links[(src, dst)]
-        except KeyError:
-            raise HostUnreachable(f"no link {src} -> {dst}") from None
+    def get_link(self, src: str, dst: str):
+        raise NotImplementedError
+
+    def mark_wan(self, name: str) -> None:
+        """Declare ``name`` a WAN-side (client) host.
+
+        Realtime backends route traffic between a WAN host and the
+        server tier over real sockets; the simkernel backend models
+        every edge identically, so this is a no-op there.
+        """
 
     # -- traffic ---------------------------------------------------------------
     def send(
@@ -206,31 +103,131 @@ class Network:
         size_bytes: int,
         channel: str = "raw",
         deliver: bool = True,
-    ) -> Event:
-        """Send; returns the delivery event (fails on loss after timeout).
+    ) -> "Event":
+        """Send; returns the delivery event (fails on loss/reset)."""
+        raise NotImplementedError
 
-        With ``deliver=False`` the message still occupies the link and
-        counts in statistics but is not pushed into the destination inbox
-        (used for handshake flights the peer's logic handles inline).
-        """
-        if size_bytes < 0:
-            raise NetworkError("message size must be non-negative")
-        destination = self.host(dst)
-        link = self.get_link(src, dst)
-        message = Message(
-            sender=src, recipient=dst, payload=payload,
-            size_bytes=size_bytes, msg_id=next(self._msg_seq),
-            channel=channel,
-        )
-        sink = destination._deliver if deliver else (lambda _message: None)
-        return link.schedule(message, sink)
-
+    # -- instrumentation ------------------------------------------------------
     @property
     def hosts(self) -> list[str]:
-        return sorted(self._hosts)
+        raise NotImplementedError
 
     def total_bytes_sent(self) -> int:
-        return sum(link.bytes_sent for link in self._links.values())
+        raise NotImplementedError
 
     def total_messages_lost(self) -> int:
-        return sum(link.messages_lost for link in self._links.values())
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """A declarative backend choice: registry name plus options.
+
+    Accepted anywhere a transport is chosen
+    (``build_grid(transport=...)``, ``GridSession.connect(...)``,
+    ``AsyncGridSession.connect(...)``) in any of three spellings::
+
+        build_grid(sites)                                   # default "sim"
+        build_grid(sites, transport="aio")                  # by name
+        build_grid(sites, transport=TransportSpec("aio", {"port": 9423}))
+    """
+
+    kind: str = "sim"
+    options: typing.Mapping[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, value: "TransportSpec | str | None") -> "TransportSpec":
+        """Coerce ``None`` / a backend name / a spec into a spec."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(kind=value)
+        raise TypeError(
+            f"transport must be a TransportSpec, backend name, or None; "
+            f"got {value!r}"
+        )
+
+
+#: Backend registry: name -> factory(sim, seed, **options) -> Transport.
+_REGISTRY: dict[str, typing.Callable[..., Transport]] = {}
+
+
+def register_transport(
+    kind: str, factory: typing.Callable[..., Transport]
+) -> None:
+    """Register a transport backend under ``kind`` (last wins)."""
+    _REGISTRY[kind] = factory
+
+
+def available_transports() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def resolve_transport(
+    spec: "TransportSpec | str | None", sim: "Simulator", seed: int = 0
+) -> Transport:
+    """Instantiate the backend a spec names.
+
+    Raises :class:`~repro.net.errors.NetworkError` for an unknown kind,
+    listing what is registered.
+    """
+    from repro.net.errors import NetworkError
+
+    parsed = TransportSpec.parse(spec)
+    factory = _REGISTRY.get(parsed.kind)
+    if factory is None:
+        raise NetworkError(
+            f"unknown transport backend {parsed.kind!r}; "
+            f"registered: {', '.join(available_transports()) or '(none)'}"
+        )
+    return factory(sim, seed, **dict(parsed.options))
+
+
+def _sim_factory(sim: "Simulator", seed: int = 0, **options: object) -> Transport:
+    from repro.net.sim_transport import Network
+
+    return Network(sim, seed=seed, **typing.cast(dict, options))
+
+
+def _aio_factory(sim: "Simulator", seed: int = 0, **options: object) -> Transport:
+    from repro.net.aio_transport import AioTransport
+
+    return AioTransport(sim, seed=seed, **typing.cast(dict, options))
+
+
+register_transport("sim", _sim_factory)
+register_transport("aio", _aio_factory)
+
+
+# -- PEP 562 deprecation shim ------------------------------------------------
+# The simkernel backend's classes lived here before the interface split.
+_MOVED = ("Message", "Host", "Link", "Network", "DEFAULT_TIMEOUT")
+
+_warned: set[str] = set()
+
+
+def __getattr__(name: str):
+    if name not in _MOVED:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name not in _warned:
+        _warned.add(name)
+        import warnings
+
+        warnings.warn(
+            f"repro.net.transport.{name} is deprecated; import it from "
+            f"repro.net.sim_transport (or repro.net) — this module now "
+            f"holds the backend-neutral Transport interface",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    value = getattr(importlib.import_module("repro.net.sim_transport"), name)
+    globals()[name] = value  # warn once, then resolve at module speed
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(_MOVED))

@@ -13,7 +13,7 @@ import typing
 
 from repro.net.errors import ConnectionLost
 from repro.net.https import HttpsChannel
-from repro.net.transport import Host
+from repro.net.sim_transport import Host
 from repro.observability import telemetry_for
 from repro.protocol.messages import Reply, Request
 from repro.protocol.retry import PollBudgetExhausted, RetryExhausted, RetryPolicy

@@ -33,7 +33,7 @@ from repro.ajo.serialize import decode_ajo, decode_service
 from repro.ajo.services import ControlService, ControlVerb, ListService, QueryService
 from repro.net.errors import ConnectionLost
 from repro.net.https import HttpsChannel
-from repro.net.transport import Host, Network
+from repro.net.sim_transport import Host, Network
 from repro.observability import telemetry_for
 from repro.protocol.consignment import (
     FileEntry,

@@ -55,7 +55,7 @@ from repro.broker.errors import BrokerQuotaError
 from repro.faults.errors import ServiceUnavailable
 from repro.net.errors import ConnectionLost
 from repro.net.stream import FrameType, StreamSender, encode_frame
-from repro.net.transport import Host, Network
+from repro.net.sim_transport import Host, Network
 from repro.observability import telemetry_for
 from repro.protocol.consignment import validate_manifest_paths
 from repro.protocol.datapath import (

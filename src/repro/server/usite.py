@@ -11,7 +11,7 @@ the UUDB, and the site's server certificate.
 from __future__ import annotations
 
 from repro.batch.machines import MachineConfig
-from repro.net.transport import Network
+from repro.net.sim_transport import Network
 from repro.security.applet import SignedApplet
 from repro.security.ca import CertificateAuthority, CertificateStore
 from repro.security.uudb import UUDB, UserMapping

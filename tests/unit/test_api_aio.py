@@ -1,0 +1,179 @@
+"""The AsyncGridSession facade mirrored over the test_api_session
+suite: every awaitable verb must behave exactly like its blocking twin
+on the deterministic simkernel backend (both drive the same SessionCore
+plans, so divergence here means the facade itself drifted)."""
+
+import asyncio
+
+import pytest
+
+from repro.api import AsyncGridSession, AsyncJobHandle, JobHandle
+from repro.grid import build_grid
+from repro.observability import telemetry_for
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _session(sites=None, seed=3, **kw):
+    grid = build_grid(sites or {"FZJ": ["FZJ-T3E"]}, seed=seed)
+    user = grid.add_user(
+        "Api User", organization="Test",
+        logins={name: "apiuser" for name in grid.usites},
+    )
+    session = await AsyncGridSession.connect(grid, user, "FZJ", **kw)
+    return grid, session
+
+
+async def _quick_job(session, name="unit", runtime_s=30.0):
+    job = await session.new_job(name)
+    job.script_task("work", "#!/bin/sh\nwork\n", simulated_runtime_s=runtime_s)
+    return job
+
+
+def test_submit_wait_outcome_happy_path():
+    async def scenario():
+        grid, session = await _session()
+        handle = await session.submit(await _quick_job(session))
+        assert isinstance(handle, AsyncJobHandle)
+        assert isinstance(handle.handle, JobHandle)
+        assert handle.job_id.endswith("@FZJ")
+        assert handle.vsite == "FZJ-T3E"
+        assert handle.trace_id
+        assert not handle.failed_over
+
+        view = await handle.status()
+        assert view.status in ("queued", "executing", "running", "successful")
+        assert not view.stale
+
+        final = await handle.wait()
+        assert final.status == "successful"
+        assert final.is_terminal
+        outcome = await handle.outcome()
+        assert outcome.child is not None
+
+    _run(scenario())
+
+
+def test_status_accepts_raw_job_id_and_plain_handle():
+    async def scenario():
+        grid, session = await _session()
+        handle = await session.submit(await _quick_job(session))
+        await session.wait(handle)
+        by_id = await session.status(handle.job_id)
+        by_plain = await session.status(handle.handle)
+        assert by_id.status == by_plain.status == "successful"
+
+    _run(scenario())
+
+
+def test_cancel_and_listing():
+    async def scenario():
+        grid, session = await _session()
+        handle = await session.submit(
+            await _quick_job(session, runtime_s=5000.0))
+        await session.advance(30.0)
+        await handle.cancel()
+        final = await handle.wait()
+        assert final.status in ("killed", "failed")
+        rows = await session.list_jobs()
+        assert [r.job_id for r in rows] == [handle.job_id]
+        assert rows[0].status == final.status
+
+    _run(scenario())
+
+
+def test_breaker_is_armed_on_the_session_client():
+    async def scenario():
+        grid, session = await _session()
+        assert session.session.client.breaker is session.breaker
+        await session.submit(await _quick_job(session))
+        assert session.breaker.state == "closed"
+
+    _run(scenario())
+
+
+def test_stale_status_served_during_gateway_outage():
+    async def scenario():
+        grid, session = await _session()
+        handle = await session.submit(
+            await _quick_job(session, runtime_s=5000.0))
+        live = await handle.status()
+        assert not live.stale
+
+        grid.usites["FZJ"].gateway.crash()
+        degraded = await handle.status()
+        assert degraded.stale
+        assert degraded.status == live.status
+        metrics = telemetry_for(grid.sim).metrics
+        assert metrics.counter("client.stale_status_serves").value >= 1
+
+        with pytest.raises((Exception,)):
+            await session.status(handle, allow_stale=False)
+
+        grid.usites["FZJ"].gateway.restart()
+        recovered = await handle.status()
+        assert not recovered.stale
+
+    _run(scenario())
+
+
+def test_submit_fails_over_to_alternate_vsite():
+    async def scenario():
+        grid, session = await _session(
+            sites={"FZJ": ["FZJ-T3E"], "RUS": ["RUS-T3E"]}, seed=4)
+        grid.usites["FZJ"].njs.crash()
+        handle = await session.submit(
+            await _quick_job(session, name="failover"))
+        assert handle.failed_over
+        assert handle.usite == "RUS"
+        assert handle.vsite == "RUS-T3E"
+        final = await handle.wait()
+        assert final.status == "successful"
+        metrics = telemetry_for(grid.sim).metrics
+        assert metrics.counter("api.failovers").value == 1
+
+    _run(scenario())
+
+
+def test_submit_without_failover_surfaces_the_fault():
+    from repro.faults import ServiceUnavailable
+
+    async def scenario():
+        grid, session = await _session(
+            sites={"FZJ": ["FZJ-T3E"], "RUS": ["RUS-T3E"]}, seed=4,
+            failover=False)
+        grid.usites["FZJ"].njs.crash()
+        with pytest.raises(ServiceUnavailable):
+            await session.submit(await _quick_job(session))
+
+    _run(scenario())
+
+
+def test_fetch_file_roundtrip():
+    async def scenario():
+        grid = build_grid({"FZJ": ["FZJ-T3E"]}, seed=3)
+        user = grid.add_user("Api User", logins={"FZJ": "apiuser"})
+        content = b"payload " * 512
+        user.workstation.fs.write("/home/apiuser/input.dat", content)
+        session = await AsyncGridSession.connect(grid, user, "FZJ")
+        job = await session.new_job("bulk", vsite="FZJ-T3E")
+        imp = job.import_from_workstation("/home/apiuser/input.dat",
+                                          "input.dat")
+        work = job.script_task("crunch", "#!/bin/sh\nwc input.dat\n",
+                               simulated_runtime_s=10.0)
+        job.depends(imp, work, files=["input.dat"])
+        handle = await session.submit(job, workstation=user.workstation)
+        final = await handle.wait()
+        assert final.status == "successful"
+        assert await handle.fetch_file("input.dat") == content
+
+    _run(scenario())
+
+
+def test_async_exports_from_top_level_package():
+    import repro.api as api
+
+    assert api.AsyncGridSession is AsyncGridSession
+    assert api.AsyncJobHandle is AsyncJobHandle

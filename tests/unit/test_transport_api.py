@@ -1,0 +1,154 @@
+"""The pluggable transport surface: spec parsing, the backend registry,
+facade/backend mismatch guards, and the warn-once shim for the moved
+simkernel classes."""
+
+import warnings
+
+import pytest
+
+from repro.api import GridSession
+from repro.api.aio import AsyncGridSession
+from repro.grid.build import build_grid
+from repro.net.errors import NetworkError, TransportMismatch
+from repro.net.transport import (
+    Transport,
+    TransportSpec,
+    available_transports,
+    register_transport,
+    resolve_transport,
+)
+
+
+def _grid(transport=None):
+    grid = build_grid({"FZJ": ["FZJ-T3E"]}, seed=3, transport=transport)
+    grid.add_user("Alice Debye", logins={"FZJ": "alice"})
+    return grid
+
+
+# -- TransportSpec ------------------------------------------------------------
+
+def test_spec_parse_accepts_none_name_and_spec():
+    assert TransportSpec.parse(None) == TransportSpec("sim", {})
+    assert TransportSpec.parse("aio").kind == "aio"
+    spec = TransportSpec("aio", {"port": 9423})
+    assert TransportSpec.parse(spec) is spec
+
+
+def test_spec_parse_rejects_other_types():
+    with pytest.raises(TypeError):
+        TransportSpec.parse(42)
+
+
+# -- registry -----------------------------------------------------------------
+
+def test_builtin_backends_registered():
+    assert {"sim", "aio"} <= set(available_transports())
+
+
+def test_resolve_unknown_kind_raises_network_error():
+    from repro.simkernel import Simulator
+
+    with pytest.raises(NetworkError, match="unknown transport"):
+        resolve_transport("carrier-pigeon", Simulator())
+
+
+def test_register_transport_round_trips_options():
+    from repro.simkernel import Simulator
+
+    seen = {}
+
+    class Probe(Transport):
+        kind = "probe"
+
+    def factory(sim, seed=0, **options):
+        seen.update(options, seed=seed)
+        return Probe()
+
+    register_transport("probe-test", factory)
+    try:
+        got = resolve_transport(
+            TransportSpec("probe-test", {"port": 7}), Simulator(),
+            seed=9,
+        )
+        assert isinstance(got, Probe)
+        assert seen == {"port": 7, "seed": 9}
+    finally:
+        from repro.net import transport as mod
+        del mod._REGISTRY["probe-test"]
+
+
+def test_build_grid_default_is_sim_backend():
+    grid = _grid()
+    assert grid.network.kind == "sim"
+    assert grid.network.realtime is False
+
+
+def test_build_grid_aio_backend():
+    grid = _grid(transport="aio")
+    assert grid.network.kind == "aio"
+    assert grid.network.realtime is True
+
+
+# -- facade/backend mismatch guards ------------------------------------------
+
+def test_blocking_session_refuses_realtime_backend():
+    grid = _grid(transport="aio")
+    with pytest.raises(TransportMismatch) as ei:
+        GridSession(grid, "Alice Debye", "FZJ")
+    assert ei.value.code == "net.transport_mismatch"
+
+
+def test_connect_rejects_wrong_transport_name():
+    grid = _grid()  # sim
+    with pytest.raises(TransportMismatch):
+        GridSession.connect(grid, "Alice Debye", "FZJ", transport="aio")
+
+
+def test_connect_accepts_matching_transport_name():
+    grid = _grid()
+    session = GridSession.connect(grid, "Alice Debye", "FZJ",
+                                  transport="sim")
+    assert session.user.name == "Alice Debye"
+
+
+def test_async_connect_rejects_wrong_transport_name():
+    import asyncio
+
+    grid = _grid()  # sim
+    with pytest.raises(TransportMismatch):
+        asyncio.run(AsyncGridSession.connect(
+            grid, "Alice Debye", "FZJ", transport="aio"))
+
+
+# -- PEP 562 shim -------------------------------------------------------------
+
+def test_moved_names_warn_once_then_resolve():
+    import importlib
+
+    from repro.net import sim_transport
+    from repro.net import transport as mod
+
+    mod._warned.discard("Network")
+    mod.__dict__.pop("Network", None)
+    with pytest.warns(DeprecationWarning, match="sim_transport"):
+        net_cls = mod.__getattr__("Network")
+    assert net_cls is sim_transport.Network
+    # Second access: cached in module globals, no second warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert importlib.import_module("repro.net.transport").Network \
+            is sim_transport.Network
+
+
+def test_unknown_attribute_still_raises():
+    from repro.net import transport as mod
+
+    with pytest.raises(AttributeError):
+        mod.__getattr__("Bogus")
+
+
+def test_dir_lists_moved_names():
+    from repro.net import transport as mod
+
+    listed = dir(mod)
+    assert "Transport" in listed and "Message" in listed
