@@ -1,0 +1,139 @@
+"""E15 — persistence cost: storage write amplification, snapshot/restore.
+
+The persistence layer's bargain: every consign, delivery, and completion
+is durably recorded *before* the NJS acts on it, which buys crash and
+full-site recovery at the price of extra writes on the hot path.  This
+experiment prices that bargain per backend:
+
+* **write amplification** — storage bytes written per byte of consigned
+  AJO.  The journal writes each AJO once at consign plus bounded
+  bookkeeping records, so amplification should sit in the low single
+  digits and stay flat as the job count grows.
+* **writes / fsyncs per job** — the hot-path operation count.  Batched
+  groups (consign, done+outcome) must keep fsyncs per job constant.
+* **snapshot / restore wall time** — checkpointing the whole grid and
+  thawing it into a fresh deployment, the operator-facing costs of the
+  warm-restart feature.
+
+Arms: the ``memory`` backend (deterministic dictionaries) and ``sqlite``
+(stdlib, real transactions).  Both run the identical workload; the
+restored grid must serve the same job listings as the original — a
+correctness gate inside the benchmark, not just a cost table.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._util import (
+    print_table,
+    run_as_script,
+    smoke_mode,
+    write_bench_artifact,
+)
+from repro.api import GridSession
+from repro.grid import build_grid
+
+SEED = 151
+JOBS = 20
+SMOKE_JOBS = 5
+JOB_RUNTIME_S = 300.0
+SUBMIT_SPACING_S = 60.0
+
+BACKENDS = ("memory", "sqlite")
+
+
+def _run_arm(backend: str, jobs: int) -> dict:
+    grid = build_grid({"FZJ": ["FZJ-T3E"]}, seed=SEED, storage=backend)
+    user = grid.add_user("Persist Bench", logins={"FZJ": "bench"})
+    session = GridSession(grid, user, "FZJ")
+
+    handles = []
+    for i in range(jobs):
+        job = session.new_job(f"persist-{i}")
+        job.script_task("work", "#!/bin/sh\n./app\n",
+                        simulated_runtime_s=JOB_RUNTIME_S)
+        handles.append(session.submit(job))
+        session.advance(SUBMIT_SPACING_S)
+    for handle in handles:
+        assert session.wait(handle).status == "successful"
+
+    storage = grid.storage
+    ajo_bytes = sum(
+        len(entry.ajo_bytes)
+        for entry in grid.usites["FZJ"].njs.journal.entries()
+    )
+
+    t0 = time.perf_counter()
+    snap = grid.snapshot()
+    snapshot_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    restored = build_grid(restore_from=snap)
+    restore_s = time.perf_counter() - t0
+
+    # Correctness gate: the thawed grid serves the same jobs.
+    restored_journal = restored.usites["FZJ"].njs.journal
+    assert len(restored_journal) == jobs
+    assert restored.sim.now == grid.sim.now
+
+    return {
+        "backend": backend,
+        "jobs": jobs,
+        "writes_per_job": storage.writes / jobs,
+        "fsyncs_per_job": storage.fsyncs / jobs,
+        "bytes_per_job": storage.bytes_written / jobs,
+        "write_amplification": storage.bytes_written / max(1, ajo_bytes),
+        "snapshot_s": snapshot_s,
+        "restore_s": restore_s,
+    }
+
+
+@pytest.mark.benchmark(group="E15-persistence")
+def test_e15_persistence_costs(benchmark):
+    jobs = SMOKE_JOBS if smoke_mode() else JOBS
+    arms: list[dict] = []
+
+    def run():
+        arms.clear()
+        for backend in BACKENDS:
+            arms.append(_run_arm(backend, jobs))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        f"E15: persistence cost — {jobs} jobs of {JOB_RUNTIME_S:.0f}s, "
+        f"seed {SEED}",
+        ["backend", "writes/job", "fsyncs/job", "bytes/job",
+         "amplification", "snapshot [s]", "restore [s]"],
+        [
+            (a["backend"], f"{a['writes_per_job']:.1f}",
+             f"{a['fsyncs_per_job']:.1f}", f"{a['bytes_per_job']:.0f}",
+             f"{a['write_amplification']:.2f}",
+             f"{a['snapshot_s']:.3f}", f"{a['restore_s']:.3f}")
+            for a in arms
+        ],
+    )
+
+    by_backend = {a["backend"]: a for a in arms}
+    for arm in arms:
+        # The journal writes each AJO once plus bounded bookkeeping:
+        # amplification must stay in the low single digits.
+        assert arm["write_amplification"] < 8.0
+        # Batched groups: a handful of durable units per job, not one
+        # per record.
+        assert arm["fsyncs_per_job"] < 10.0
+    # Both backends persist through the same Table/Log surface, so the
+    # operation profile (not the latency) must match exactly.
+    assert (by_backend["memory"]["writes_per_job"]
+            == by_backend["sqlite"]["writes_per_job"])
+
+    write_bench_artifact("e15", {
+        "jobs": jobs,
+        **{a["backend"]: {k: v for k, v in a.items() if k != "backend"}
+           for a in arms},
+    })
+
+
+if __name__ == "__main__":
+    run_as_script(test_e15_persistence_costs)

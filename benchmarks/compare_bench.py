@@ -19,6 +19,7 @@ artifacts and bless them::
 
     REPRO_BENCH_DIR=/tmp/fresh python -m benchmarks.bench_e10_production_replay --jobs 10 --legacy-wait
     REPRO_BENCH_DIR=/tmp/fresh python -m benchmarks.bench_e11_broker_ablation
+    REPRO_BENCH_DIR=/tmp/fresh python -m benchmarks.bench_e15_persistence
     python -m benchmarks.compare_bench --fresh /tmp/fresh --update
 
 then commit the updated ``benchmarks/baselines/*.json`` with a sentence
@@ -81,6 +82,15 @@ METRIC_SPECS: dict[str, tuple[MetricSpec, ...]] = {
     "e12": (
         MetricSpec("transport.msgs_per_s", "higher", "warn"),
         MetricSpec("transport.stream_MBps", "higher", "warn"),
+    ),
+    # E15 is warn-only per the persistence acceptance criteria: the
+    # wall-time metrics are machine-dependent, and amplification shifts
+    # legitimately whenever the journal record shapes evolve.
+    "e15": (
+        MetricSpec("sqlite.write_amplification", "lower", "warn"),
+        MetricSpec("sqlite.fsyncs_per_job", "lower", "warn"),
+        MetricSpec("sqlite.snapshot_s", "lower", "warn"),
+        MetricSpec("sqlite.restore_s", "lower", "warn"),
     ),
 }
 

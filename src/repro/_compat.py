@@ -1,0 +1,74 @@
+"""Shared backward-compatibility machinery.
+
+Several modules in this repo have moved (the flat :mod:`repro.core`
+namespace, the one-shot broker, the simkernel network classes, the NJS
+journal).  Each old location stays importable through a PEP 562 module
+``__getattr__`` that warns once per name and then caches the resolved
+object into the module's globals so later lookups run at module speed.
+
+That shim used to be copy-pasted per module; it lives here once now.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["deprecated_module_attr"]
+
+
+def deprecated_module_attr(
+    module: str,
+    module_globals: dict[str, object],
+    homes: typing.Mapping[str, str],
+    hint: str = "",
+    public: typing.Iterable[str] | None = None,
+) -> tuple[
+    typing.Callable[[str], object], typing.Callable[[], list[str]]
+]:
+    """Build the ``(__getattr__, __dir__)`` pair for a deprecated module.
+
+    ``homes`` maps each still-supported attribute to the module that
+    really defines it.  The first access of each name emits a
+    :class:`DeprecationWarning` naming the new home (plus ``hint``, if
+    given); the resolved object is cached into ``module_globals`` so the
+    warning fires exactly once and later accesses skip this machinery.
+
+    ``public`` overrides the name set reported by ``dir()`` (defaults
+    to the keys of ``homes`` plus whatever ``__all__`` the module
+    already declares).
+    """
+    warned: set[str] = set()
+    # Exposed on the module for tests that reset the warn-once state.
+    module_globals["_warned"] = warned
+    declared = module_globals.get("__all__") or ()
+    names = set(public if public is not None else ())
+    names.update(typing.cast(typing.Iterable[str], declared))
+    names.update(homes)
+
+    def __getattr__(name: str) -> object:
+        home = homes.get(name)
+        if home is None:
+            raise AttributeError(
+                f"module {module!r} has no attribute {name!r}"
+            )
+        if name not in warned:
+            warned.add(name)
+            import warnings
+
+            suffix = f" {hint}" if hint else ""
+            warnings.warn(
+                f"{module}.{name} is deprecated; import it from "
+                f"{home}{suffix}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        import importlib
+
+        value = getattr(importlib.import_module(home), name)
+        module_globals[name] = value  # warn once, then resolve at module speed
+        return value
+
+    def __dir__() -> list[str]:
+        return sorted(names)
+
+    return __getattr__, __dir__

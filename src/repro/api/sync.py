@@ -180,3 +180,13 @@ class GridSession(SessionCore):
     def advance(self, seconds: float) -> None:
         """Let simulated time pass (jobs run; nothing blocks on it)."""
         self.sim.run(until=self.sim.now + seconds)
+
+    # -- checkpointing --------------------------------------------------------
+    def snapshot(self):
+        """Checkpoint the whole grid (see :meth:`repro.grid.Grid.snapshot`).
+
+        Take it at a quiescent point — after :meth:`wait` /
+        :meth:`advance` returned with no work pending — if the restored
+        run must continue byte-identically.
+        """
+        return self.grid.snapshot()

@@ -18,8 +18,7 @@ Migrate as follows:
 
 from __future__ import annotations
 
-import importlib
-import warnings
+from repro._compat import deprecated_module_attr
 
 __all__ = [
     "AJOOutcome",
@@ -91,25 +90,7 @@ _HOMES: dict[str, str] = {
 for _name in __all__:
     _HOMES.setdefault(_name, "repro.ajo")
 
-_warned: set[str] = set()
-
-
-def __getattr__(name: str):
-    home = _HOMES.get(name)
-    if home is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    if name not in _warned:
-        _warned.add(name)
-        warnings.warn(
-            f"repro.core.{name} is deprecated; import it from {home} "
-            "(or use the repro.api.GridSession facade)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    value = getattr(importlib.import_module(home), name)
-    globals()[name] = value  # warn once, then resolve at module speed
-    return value
-
-
-def __dir__() -> list[str]:
-    return sorted(__all__)
+__getattr__, __dir__ = deprecated_module_attr(
+    __name__, globals(), _HOMES,
+    hint="(or use the repro.api.GridSession facade)",
+)

@@ -54,6 +54,8 @@ __all__ = [
     "FaultError", "CircuitOpenError", "ServiceUnavailable",
     # federation broker
     "BrokerError", "BrokerQuotaError", "NoCapacityError",
+    # storage
+    "StorageError", "SnapshotError",
 ]
 
 
@@ -135,6 +137,8 @@ _HOMES = {
     "BrokerError": "repro.broker.errors",
     "BrokerQuotaError": "repro.broker.errors",
     "NoCapacityError": "repro.broker.errors",
+    "StorageError": "repro.storage.errors",
+    "SnapshotError": "repro.storage.errors",
 }
 
 

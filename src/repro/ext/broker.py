@@ -9,31 +9,13 @@ access emits a :class:`DeprecationWarning` pointing at the new home.
 
 from __future__ import annotations
 
-import importlib
-import warnings
+from repro._compat import deprecated_module_attr
 
 __all__ = ["BrokerDecision", "ResourceBroker"]
 
 _HOME = "repro.broker.placement"
 
-_warned: set[str] = set()
-
-
-def __getattr__(name: str):
-    if name not in __all__:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    if name not in _warned:
-        _warned.add(name)
-        warnings.warn(
-            f"repro.ext.broker.{name} is deprecated; import it from "
-            f"{_HOME} (or use the federated repro.broker tier)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    value = getattr(importlib.import_module(_HOME), name)
-    globals()[name] = value  # warn once, then resolve at module speed
-    return value
-
-
-def __dir__() -> list[str]:
-    return sorted(__all__)
+__getattr__, __dir__ = deprecated_module_attr(
+    __name__, globals(), {name: _HOME for name in __all__},
+    hint="(or use the federated repro.broker tier)",
+)

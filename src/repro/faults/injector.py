@@ -68,6 +68,7 @@ class FaultInjector:
             FaultKind.NJS_CRASH: self._njs_crash,
             FaultKind.VSITE_OUTAGE: self._vsite_outage,
             FaultKind.NODE_FAILURE: self._node_failure,
+            FaultKind.SITE_RESTART: self._site_restart,
         }[event.kind]
         applied = handler(event)
         if not applied:
@@ -152,6 +153,15 @@ class FaultInjector:
             return False
         njs.crash()
         self.sim.schedule_callback(event.duration_s, njs.restart)
+        return True
+
+    def _site_restart(self, event: FaultEvent) -> bool:
+        """Power-cycle a whole Usite: cold NJS, storage-backed restart."""
+        usite = self.grid.usites[event.target]
+        if usite.njs.crashed or usite.gateway.down:
+            return False  # already failing from an overlapping fault
+        usite.crash_site()
+        self.sim.schedule_callback(event.duration_s, usite.restart_site)
         return True
 
     def _vsite_outage(self, event: FaultEvent) -> bool:

@@ -41,6 +41,12 @@ class FaultKind:
     VSITE_OUTAGE = "vsite_outage"
     #: One batch node dies, killing a single running job (no downtime).
     NODE_FAILURE = "node_failure"
+    #: The whole site power-fails — every gateway down plus a *cold*
+    #: NJS (bare heap) — then cold-starts from its storage backend.
+    #: Deliberately not in :attr:`ALL`: it models machine-room loss, a
+    #: class above the per-process failures default chaos sweeps arm.
+    #: Opt in with ``kinds=[..., FaultKind.SITE_RESTART]``.
+    SITE_RESTART = "site_restart"
 
     ALL: typing.ClassVar[tuple[str, ...]] = (
         CHANNEL_DROP,
@@ -60,6 +66,7 @@ _RATES: dict[str, float] = {
     FaultKind.NJS_CRASH: 0.3,
     FaultKind.VSITE_OUTAGE: 0.25,
     FaultKind.NODE_FAILURE: 0.6,
+    FaultKind.SITE_RESTART: 0.15,
 }
 
 
@@ -109,7 +116,9 @@ class FaultTargets:
     def for_kind(self, kind: str) -> tuple[str, ...]:
         if kind in (FaultKind.CHANNEL_DROP, FaultKind.LATENCY_SPIKE):
             return self.wan_links
-        if kind in (FaultKind.GATEWAY_CRASH, FaultKind.NJS_CRASH):
+        if kind in (
+            FaultKind.GATEWAY_CRASH, FaultKind.NJS_CRASH, FaultKind.SITE_RESTART,
+        ):
             return self.usites
         return self.vsites
 
@@ -138,6 +147,10 @@ def _draw(
             severity = 0.0
         elif kind == FaultKind.VSITE_OUTAGE:
             duration = float(rng.uniform(45.0, 180.0))
+            severity = 0.0
+        elif kind == FaultKind.SITE_RESTART:
+            # A full power cycle takes longer than any one process crash.
+            duration = float(rng.uniform(60.0, 180.0))
             severity = 0.0
         else:  # NODE_FAILURE
             duration = 0.0

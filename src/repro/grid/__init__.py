@@ -7,6 +7,7 @@
 """
 
 from repro.grid.build import Grid, GridUser, build_german_grid, build_grid
+from repro.grid.snapshot import GridSnapshot
 from repro.grid.workloads import LocalLoadGenerator, WorkloadProfile, synth_job
 from repro.grid.metrics import TierTimes, summarize_turnarounds
 from repro.grid.figures import figure1, figure2
@@ -15,6 +16,7 @@ from repro.grid.timeline import job_timeline, render_gantt
 
 __all__ = [
     "Grid",
+    "GridSnapshot",
     "GridUser",
     "LocalLoadGenerator",
     "TierTimes",

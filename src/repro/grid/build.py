@@ -13,12 +13,15 @@ from dataclasses import dataclass
 
 from repro.batch.machines import machine
 from repro.client.browser import Browser, UnicoreSession
+from repro.grid.snapshot import GridSnapshot
 from repro.net.transport import Transport, TransportSpec, resolve_transport
 from repro.security.applet import AppletBundle, SignedApplet, sign_applet
 from repro.security.ca import CertificateAuthority, CertificateStore
 from repro.security.x509 import CertificateRole, DistinguishedName
 from repro.server.usite import Usite
 from repro.simkernel import Simulator
+from repro.storage.backend import StorageBackend, StorageSpec, resolve_storage
+from repro.storage.errors import SnapshotError
 from repro.vfs.spaces import Workstation
 
 __all__ = ["Grid", "GridUser", "build_grid", "build_german_grid"]
@@ -55,10 +58,19 @@ class GridUser:
 class Grid:
     """A running multi-site UNICORE deployment."""
 
-    def __init__(self, sim: Simulator, network: Transport, ca: CertificateAuthority) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Transport,
+        ca: CertificateAuthority,
+        storage: StorageBackend | None = None,
+    ) -> None:
         self.sim = sim
         self.network = network
         self.ca = ca
+        #: One durable backend shared by every Usite (tables are
+        #: prefixed per site), so one dump captures the whole grid.
+        self.storage = storage if storage is not None else resolve_storage(None)
         self.usites: dict[str, Usite] = {}
         self.users: dict[str, GridUser] = {}
         self.applets: dict[str, SignedApplet] = {}
@@ -67,6 +79,11 @@ class Grid:
         self._gateway_rr: dict[str, int] = {}
         #: Set by :func:`repro.broker.service.attach_broker`.
         self.broker = None
+        #: Deterministic rebuild recipes, recorded by :func:`build_grid`
+        #: and :meth:`add_user` — what :meth:`snapshot` serializes in
+        #: place of unpicklable live objects.
+        self._build_recipe: dict | None = None
+        self._user_recipes: list[dict] = []
 
     # -- construction --------------------------------------------------------
     def add_usite(self, name: str, machine_names: list[str], **usite_kw) -> Usite:
@@ -77,6 +94,7 @@ class Grid:
             self.ca,
             machines=[machine(m) for m in machine_names],
             applets=self.applets,
+            storage=self.storage,
             **usite_kw,
         )
         self.usites[name] = usite
@@ -105,16 +123,28 @@ class Grid:
         organization: str = "",
         logins: dict[str, str] | None = None,
         home_sites: typing.Iterable[str] | None = None,
+        register: bool = True,
     ) -> GridUser:
         """Create a user: certificate, UUDB entries, workstation, browser.
 
         ``logins`` maps Usite name → local login; sites not listed get no
         mapping (access there will be refused — the paper's model).
+        ``register=False`` skips the UUDB writes — the snapshot-restore
+        path, where the mappings already came back from durable storage
+        and re-adding them would be a duplicate.
         """
+        home_sites = None if home_sites is None else list(home_sites)
+        self._user_recipes.append({
+            "cn": cn,
+            "organization": organization,
+            "logins": dict(logins or {}),
+            "home_sites": home_sites,
+        })
         dn = DistinguishedName(cn=cn, o=organization, c="DE")
         cert, key = self.ca.issue(dn, role=CertificateRole.USER)
-        for usite_name, login in (logins or {}).items():
-            self.usites[usite_name].add_user(dn, login)
+        if register:
+            for usite_name, login in (logins or {}).items():
+                self.usites[usite_name].add_user(dn, login)
 
         self._user_seq += 1
         host_name = f"ws{self._user_seq}.{cn.split()[0].lower()}"
@@ -145,6 +175,39 @@ class Grid:
         user = GridUser(name=cn, browser=browser, workstation=workstation)
         self.users[cn] = user
         return user
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> GridSnapshot:
+        """Capture the whole deployment for a later warm restart.
+
+        Serializes the build recipe, every durable table and log, the
+        users (with their workstation files), and the simkernel cursors
+        (clock, message ids, link loss-RNG states).  Live sessions and
+        in-flight events are not captured: jobs caught mid-run come back
+        through journal replay on restore.  Only grids built by
+        :func:`build_grid` can snapshot — hand-assembled ones have no
+        recorded recipe.
+        """
+        if self._build_recipe is None:
+            raise SnapshotError(
+                "snapshot() requires a build_grid()-built grid "
+                "(no build recipe recorded)"
+            )
+        return GridSnapshot(
+            clock=self.sim.now,
+            build=dict(self._build_recipe),
+            users=[dict(recipe) for recipe in self._user_recipes],
+            workstation_files={
+                name: {
+                    path: user.workstation.fs.read(path)
+                    for path in user.workstation.fs.walk_files("/")
+                }
+                for name, user in self.users.items()
+            },
+            storage=self.storage.dump(),
+            network=self.network.state_cursors(),
+            gateway_rr=dict(self._gateway_rr),
+        )
 
     # -- convenience -------------------------------------------------------------
     def connect_plan(
@@ -201,7 +264,7 @@ def _build_applets(ca: CertificateAuthority) -> dict[str, SignedApplet]:
 
 
 def build_grid(
-    sites: dict[str, list[str]],
+    sites: dict[str, list[str]] | None = None,
     seed: int = 0,
     wan_latency_s: float = WAN_LATENCY_S,
     wan_bandwidth_Bps: float = WAN_BANDWIDTH_BPS,
@@ -210,6 +273,8 @@ def build_grid(
     gateways: int | dict[str, int] = 1,
     max_active_per_user: int | None = None,
     transport: "TransportSpec | str | None" = None,
+    storage: "StorageSpec | str | None" = None,
+    restore_from: "GridSnapshot | str | None" = None,
 ) -> Grid:
     """Build a grid with the given ``{usite: [machine names]}`` layout.
 
@@ -220,11 +285,77 @@ def build_grid(
     deterministic simkernel backend, ``"aio"`` (or a
     :class:`~repro.net.transport.TransportSpec` with options) for real
     asyncio TCP sockets on the WAN edges.
+    ``storage`` picks the durable backend for every site's state
+    (``None`` resolves ``REPRO_STORAGE``, default ``"memory"``;
+    ``"sqlite"`` or ``"sqlite:/path/grid.db"`` for SQLite).
+    ``restore_from`` rebuilds a grid from a :class:`GridSnapshot` (or a
+    saved snapshot path) instead of starting fresh: same topology and
+    certificates, virtual clock resumed, finished jobs restored from
+    storage, incomplete ones replayed.  All other arguments then come
+    from the snapshot's build recipe, except ``storage``, which may be
+    overridden (e.g. to thaw a file-backed snapshot into memory).
     """
-    sim = Simulator()
-    network = resolve_transport(transport, sim, seed=seed)
+    snap: GridSnapshot | None = None
+    if restore_from is not None:
+        snap = (
+            restore_from
+            if isinstance(restore_from, GridSnapshot)
+            else GridSnapshot.load(restore_from)
+        )
+        recipe = snap.build
+        sites = {
+            name: list(machines)
+            for name, machines in typing.cast(dict, recipe["sites"]).items()
+        }
+        seed = int(typing.cast(int, recipe["seed"]))
+        wan_latency_s = float(typing.cast(float, recipe["wan_latency_s"]))
+        wan_bandwidth_Bps = float(typing.cast(float, recipe["wan_bandwidth_Bps"]))
+        wan_loss = float(typing.cast(float, recipe["wan_loss"]))
+        key_bits = int(typing.cast(int, recipe["key_bits"]))
+        raw_gateways = recipe["gateways"]
+        gateways = (
+            {k: int(v) for k, v in raw_gateways.items()}
+            if isinstance(raw_gateways, dict)
+            else int(typing.cast(int, raw_gateways))
+        )
+        max_active_per_user = typing.cast("int | None", recipe["max_active_per_user"])
+        tr = typing.cast(dict, recipe["transport"])
+        transport = TransportSpec(
+            kind=str(tr["kind"]), options=dict(tr["options"])
+        )
+        if storage is None:
+            st = typing.cast(dict, recipe["storage"])
+            storage = StorageSpec(kind=str(st["kind"]), options=dict(st["options"]))
+    if sites is None:
+        raise TypeError("build_grid() needs sites= unless restore_from= is given")
+
+    transport_spec = TransportSpec.parse(transport)
+    storage_spec = StorageSpec.parse(storage)
+    sim = Simulator(start=snap.clock if snap is not None else 0.0)
+    network = resolve_transport(transport_spec, sim, seed=seed)
+    backend = resolve_storage(storage_spec)
+    if snap is not None:
+        backend.load(snap.storage)
     ca = CertificateAuthority(key_bits=key_bits, seed=seed)
-    grid = Grid(sim, network, ca)
+    grid = Grid(sim, network, ca, storage=backend)
+    grid._build_recipe = {
+        "sites": {name: list(machines) for name, machines in sites.items()},
+        "seed": seed,
+        "wan_latency_s": wan_latency_s,
+        "wan_bandwidth_Bps": wan_bandwidth_Bps,
+        "wan_loss": wan_loss,
+        "key_bits": key_bits,
+        "gateways": dict(gateways) if isinstance(gateways, dict) else gateways,
+        "max_active_per_user": max_active_per_user,
+        "transport": {
+            "kind": transport_spec.kind,
+            "options": dict(transport_spec.options),
+        },
+        "storage": {
+            "kind": storage_spec.kind,
+            "options": dict(storage_spec.options),
+        },
+    }
     grid.applets.update(_build_applets(ca))
     for name, machines in sites.items():
         count = gateways.get(name, 1) if isinstance(gateways, dict) else gateways
@@ -237,6 +368,25 @@ def build_grid(
         bandwidth_Bps=wan_bandwidth_Bps,
         loss_probability=wan_loss,
     )
+    if snap is not None:
+        for recipe_user in snap.users:
+            rec = typing.cast(dict, recipe_user)
+            user = grid.add_user(
+                str(rec["cn"]),
+                str(rec["organization"]),
+                logins=typing.cast(dict, rec["logins"]),
+                home_sites=typing.cast("list | None", rec["home_sites"]),
+                register=False,
+            )
+            files = typing.cast(dict, snap.workstation_files.get(rec["cn"], {}))
+            for path, content in files.items():
+                user.workstation.fs.write(path, content)
+        network.restore_cursors(snap.network)
+        grid._gateway_rr.update(snap.gateway_rr)
+        # Sites cold-start from the loaded dump: finished jobs reappear
+        # as restored listings, incomplete ones are replayed.
+        for usite in grid.usites.values():
+            usite.njs.recover()
     return grid
 
 

@@ -209,6 +209,33 @@ class Network(Transport):
         except KeyError:
             raise HostUnreachable(f"no link {src} -> {dst}") from None
 
+    # -- snapshot support ------------------------------------------------------
+    def state_cursors(self) -> dict:
+        """Message-id counter plus every link's loss-RNG state.
+
+        Restoring these into an identically built network makes the
+        resumed run draw the exact message ids and loss decisions the
+        uninterrupted run would have — the property grid snapshots rely
+        on for byte-identical outcomes.
+        """
+        next_id = next(self._msg_seq)
+        self._msg_seq = count(next_id)  # undo the peek
+        return {
+            "msg_seq": next_id,
+            "links": {
+                f"{a}->{b}": link._rng.bit_generator.state
+                for (a, b), link in sorted(self._links.items())
+            },
+        }
+
+    def restore_cursors(self, cursors: dict) -> None:
+        self._msg_seq = count(int(typing.cast(int, cursors["msg_seq"])))
+        states = typing.cast(dict, cursors.get("links", {}))
+        for (a, b), link in self._links.items():
+            state = states.get(f"{a}->{b}")
+            if state is not None:
+                link._rng.bit_generator.state = state
+
     # -- traffic ---------------------------------------------------------------
     def send(
         self,

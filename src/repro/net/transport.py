@@ -107,6 +107,30 @@ class Transport:
         """Send; returns the delivery event (fails on loss/reset)."""
         raise NotImplementedError
 
+    # -- snapshot support -----------------------------------------------------
+    def state_cursors(self) -> dict:
+        """Internal counters and RNG cursors, for grid snapshots.
+
+        A restored grid must continue the exact message-id and loss-draw
+        sequences of the original, so the simkernel backend exposes its
+        cursors here.  Realtime backends have no replayable cursor state;
+        the base implementation refuses with
+        :class:`~repro.storage.errors.SnapshotError`.
+        """
+        from repro.storage.errors import SnapshotError
+
+        raise SnapshotError(
+            f"transport backend {self.kind!r} does not support snapshots"
+        )
+
+    def restore_cursors(self, cursors: dict) -> None:
+        """Restore the cursors captured by :meth:`state_cursors`."""
+        from repro.storage.errors import SnapshotError
+
+        raise SnapshotError(
+            f"transport backend {self.kind!r} does not support snapshots"
+        )
+
     # -- instrumentation ------------------------------------------------------
     @property
     def hosts(self) -> list[str]:
@@ -205,29 +229,10 @@ register_transport("aio", _aio_factory)
 # The simkernel backend's classes lived here before the interface split.
 _MOVED = ("Message", "Host", "Link", "Network", "DEFAULT_TIMEOUT")
 
-_warned: set[str] = set()
+from repro._compat import deprecated_module_attr  # noqa: E402
 
-
-def __getattr__(name: str):
-    if name not in _MOVED:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    if name not in _warned:
-        _warned.add(name)
-        import warnings
-
-        warnings.warn(
-            f"repro.net.transport.{name} is deprecated; import it from "
-            f"repro.net.sim_transport (or repro.net) — this module now "
-            f"holds the backend-neutral Transport interface",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    import importlib
-
-    value = getattr(importlib.import_module("repro.net.sim_transport"), name)
-    globals()[name] = value  # warn once, then resolve at module speed
-    return value
-
-
-def __dir__() -> list[str]:
-    return sorted(set(__all__) | set(_MOVED))
+__getattr__, __dir__ = deprecated_module_attr(
+    __name__, globals(), {name: "repro.net.sim_transport" for name in _MOVED},
+    hint="(or repro.net) — this module now holds the backend-neutral "
+         "Transport interface",
+)

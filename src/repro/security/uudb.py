@@ -16,10 +16,13 @@ the paper) can install a site-specific check hook.
 from __future__ import annotations
 
 import typing
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.security.errors import MappingError
 from repro.security.x509 import Certificate, DistinguishedName
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.backend import StorageBackend
 
 __all__ = ["UserMapping", "UUDB"]
 
@@ -51,13 +54,43 @@ class UserMapping:
 class UUDB:
     """Per-Usite user database maintained by the site administration."""
 
-    def __init__(self, site_name: str) -> None:
+    def __init__(
+        self, site_name: str, storage: "StorageBackend | None" = None
+    ) -> None:
         self.site_name = site_name
         # dn string -> list of mappings (general + per-vsite overrides)
         self._mappings: dict[str, list[UserMapping]] = {}
         #: Optional extra site-specific authentication (smart card / DCE).
         self._site_check: typing.Callable[[Certificate], bool] | None = None
         self.lookups = 0  # instrumentation for experiment E6
+        #: Durable mapping table ("the site administration's database");
+        #: None keeps the historical in-memory-only behavior.
+        self._table = (
+            storage.table(f"{site_name}.uudb") if storage is not None else None
+        )
+        if self._table is not None and len(self._table):
+            self.reload()
+
+    # -- persistence ---------------------------------------------------------
+    def _persist(self, dn: str) -> None:
+        if self._table is None:
+            return
+        entries = self._mappings.get(dn)
+        if entries:
+            self._table.put(dn, [asdict(m) for m in entries])
+        else:
+            self._table.delete(dn)
+
+    def reload(self) -> None:
+        """Rebuild the in-memory table from storage (site cold start)."""
+        if self._table is None:
+            return
+        self._mappings.clear()
+        for dn, rows in self._table.items():
+            self._mappings[dn] = [
+                UserMapping(**typing.cast(dict, row))
+                for row in typing.cast(list, rows)
+            ]
 
     # -- administration ------------------------------------------------------
     def add(self, mapping: UserMapping) -> None:
@@ -69,6 +102,7 @@ class UUDB:
                 f"{mapping.vsite or '<all>'!r}"
             )
         entries.append(mapping)
+        self._persist(mapping.dn)
 
     def add_user(
         self,
@@ -91,6 +125,7 @@ class UUDB:
             self._mappings[str(dn)] = kept
         else:
             del self._mappings[str(dn)]
+        self._persist(str(dn))
 
     def disable(self, dn: DistinguishedName | str) -> None:
         """Disable every mapping for ``dn`` (kept on file, refuses auth)."""
@@ -99,6 +134,7 @@ class UUDB:
             raise MappingError(f"no mapping for {dn}")
         for m in entries:
             m.enabled = False
+        self._persist(str(dn))
 
     def enable(self, dn: DistinguishedName | str) -> None:
         entries = self._mappings.get(str(dn))
@@ -106,6 +142,7 @@ class UUDB:
             raise MappingError(f"no mapping for {dn}")
         for m in entries:
             m.enabled = True
+        self._persist(str(dn))
 
     def install_site_check(
         self, check: typing.Callable[[Certificate], bool]

@@ -1,104 +1,18 @@
-"""The NJS write-ahead journal: crash-recoverable job state.
+"""Deprecated home of the NJS write-ahead journal.
 
-Section 4.2 makes the NJS the single stateful component between the
-user and the batch systems; losing its in-memory tables used to lose
-every job in flight.  The journal fixes that with the classic recipe:
-every consignment is recorded *before* supervision starts, every batch
-delivery is recorded as it happens, and completed jobs are marked done.
-After a crash, :meth:`NetworkJobSupervisor.restart` replays every
-incomplete entry — same job id, same AJO bytes, same trace — so clients
-polling through the outage simply see their job again (flagged
-``recovered`` in listings).
-
-The journal models durable site-local storage (the same disk the Xspace
-lives on), so it deliberately survives :meth:`crash` wiping the rest of
-the NJS.
+The journal became a typed view over the pluggable persistence layer
+and moved to :mod:`repro.storage.journal` (same replay semantics, now
+over durable backend logs).  The historical names still resolve here
+through the shared warn-once PEP 562 shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro._compat import deprecated_module_attr
 
 __all__ = ["JournalEntry", "JobJournal"]
 
-
-@dataclass(slots=True)
-class JournalEntry:
-    """Everything needed to re-supervise one consigned job."""
-
-    job_id: str
-    ajo_bytes: bytes
-    user_dn: str
-    workstation_files: dict[str, bytes] = field(default_factory=dict)
-    trace_id: str = ""
-    #: Set for forwarded groups (this NJS is the *child* site).
-    parent_job_id: str | None = None
-    #: ``(corr_id, reply_usite, return_files)`` for forwarded groups, so
-    #: a replayed group can still send its GroupResult home.
-    forward_meta: tuple | None = None
-    #: Batch jobs delivered before the crash: ``action_id -> (vsite,
-    #: local_id)``.  Replay cancels the survivors before resubmitting.
-    delivered: dict[str, tuple[str, str]] = field(default_factory=dict)
-    done: bool = False
-
-
-class JobJournal:
-    """In-order journal of consigned jobs (models durable storage)."""
-
-    def __init__(self) -> None:
-        self._entries: dict[str, JournalEntry] = {}
-        #: Instrumentation.
-        self.records_written = 0
-
-    # -- writes (called on the supervision hot path) ------------------------
-    def record_consign(
-        self,
-        job_id: str,
-        ajo_bytes: bytes,
-        user_dn: str,
-        workstation_files: dict[str, bytes] | None = None,
-        trace_id: str = "",
-        parent_job_id: str | None = None,
-        forward_meta: tuple | None = None,
-    ) -> JournalEntry:
-        entry = JournalEntry(
-            job_id=job_id,
-            ajo_bytes=ajo_bytes,
-            user_dn=user_dn,
-            workstation_files=dict(workstation_files or {}),
-            trace_id=trace_id,
-            parent_job_id=parent_job_id,
-            forward_meta=forward_meta,
-        )
-        self._entries[job_id] = entry
-        self.records_written += 1
-        return entry
-
-    def record_delivery(
-        self, job_id: str, action_id: str, vsite: str, local_id: str
-    ) -> None:
-        entry = self._entries.get(job_id)
-        if entry is not None:
-            entry.delivered[action_id] = (vsite, local_id)
-            self.records_written += 1
-
-    def record_done(self, job_id: str) -> None:
-        entry = self._entries.get(job_id)
-        if entry is not None and not entry.done:
-            entry.done = True
-            self.records_written += 1
-
-    def forget(self, job_id: str) -> None:
-        """Drop a disposed job's entry entirely."""
-        self._entries.pop(job_id, None)
-
-    # -- recovery ------------------------------------------------------------
-    def incomplete(self) -> list[JournalEntry]:
-        """Entries to replay after a crash, in consignment order."""
-        return [e for e in self._entries.values() if not e.done]
-
-    def entry(self, job_id: str) -> JournalEntry | None:
-        return self._entries.get(job_id)
-
-    def __len__(self) -> int:
-        return len(self._entries)
+__getattr__, __dir__ = deprecated_module_attr(
+    __name__, globals(),
+    {name: "repro.storage.journal" for name in __all__},
+)

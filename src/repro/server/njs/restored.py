@@ -1,0 +1,131 @@
+"""Finished jobs resurrected from durable storage after a cold start.
+
+A warm NJS :meth:`crash` keeps finished :class:`JobRun` objects alive in
+memory, but a *full-site* restart (or a grid restored from a snapshot)
+starts from a bare Python heap: everything it knows comes from the
+storage backend.  :class:`RestoredRun` duck-types the slice of the
+:class:`~repro.server.njs.jobrun.JobRun` surface the NJS services touch
+for a terminal job — listings, status queries, outcome retrieval,
+Uspace file fetches, disposal — backed by the journal entry (AJO bytes)
+and the persisted :class:`~repro.storage.outcomes.OutcomeRecord`.
+
+Decoding is lazy: restoring a thousand finished jobs costs a thousand
+table reads, not a thousand AJO decodes — the tree is only rebuilt when
+a client actually asks for it.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ajo import ActionStatus, decode_ajo, decode_outcome
+from repro.ajo.outcome import AJOOutcome, Outcome
+from repro.storage.outcomes import OutcomeRecord
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.ajo import AbstractJobObject
+
+__all__ = ["RestoredRun"]
+
+
+class _StoredFiles:
+    """The Uspace-read surface over a persisted file manifest."""
+
+    def __init__(self, job_id: str, files: dict[str, bytes]) -> None:
+        self.job_id = job_id
+        self._files = dict(files)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def read(self, path: str) -> bytes:
+        return self._files[path]
+
+    def files(self) -> list[str]:
+        return sorted(self._files)
+
+    def used_bytes(self) -> int:
+        return sum(len(content) for content in self._files.values())
+
+
+class RestoredRun:
+    """A terminal job served from storage instead of live supervision."""
+
+    def __init__(self, record: OutcomeRecord, ajo_bytes: bytes) -> None:
+        self.job_id = record.job_id
+        self.user_dn = record.user_dn
+        self.submitted_at = record.submitted_at
+        self.recovered = record.recovered
+        self.trace_id = record.trace_id
+        self.cancelled = False
+        self.held = False
+        self.hold_released = None
+        self.job_span = None
+        self.on_change = None
+        self.done_event = None
+        #: Live-run bookkeeping, all empty: nothing is supervising here.
+        self.processes: list = []
+        self.batch_jobs: dict[str, tuple[str, str]] = {}
+        self.remote_files: dict = {}
+        self.group_expected: dict = {}
+        self.events: dict = {}
+        self.workstation_files: dict[str, bytes] = {}
+        #: One pseudo-Uspace holding every persisted file, so
+        #: ``fetch_uspace_file`` iterates it exactly like live Uspaces.
+        self.uspaces = {"__restored__": _StoredFiles(record.job_id, record.files)}
+        self._status = ActionStatus(record.status)
+        self._ajo_bytes = ajo_bytes
+        self._outcome_bytes = record.outcome_bytes
+        self._name = record.name
+        self._root: "AbstractJobObject | None" = None
+        self._root_outcome: Outcome | None = None
+        self._outcome_index: dict[str, Outcome] | None = None
+
+    # -- lazy decoding -------------------------------------------------------
+    @property
+    def root(self) -> "AbstractJobObject":
+        if self._root is None:
+            self._root = decode_ajo(self._ajo_bytes)
+        return self._root
+
+    @property
+    def root_outcome(self) -> Outcome:
+        if self._root_outcome is None:
+            self._root_outcome = decode_outcome(self._outcome_bytes)
+        return self._root_outcome
+
+    @property
+    def outcomes(self) -> dict[str, Outcome]:
+        """Action id -> outcome, indexed from the persisted tree."""
+        if self._outcome_index is None:
+            index: dict[str, Outcome] = {}
+
+            def walk(outcome: Outcome) -> None:
+                index[outcome.action_id] = outcome
+                if isinstance(outcome, AJOOutcome):
+                    for child in outcome.children.values():
+                        walk(child)
+
+            walk(self.root_outcome)
+            self._outcome_index = index
+        return self._outcome_index
+
+    # -- JobRun surface ------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def status(self) -> ActionStatus:
+        return self._status
+
+    def finish_action(self, *args, **kw) -> None:  # pragma: no cover
+        raise AssertionError("a restored run is terminal; nothing finishes")
+
+    def notify_change(self) -> None:
+        """No-op: restored runs never change state again."""
+
+    def __repr__(self) -> str:
+        return (
+            f"<RestoredRun {self.job_id} {self._status.value} "
+            f"files={len(self.uspaces['__restored__'].files())}>"
+        )

@@ -75,7 +75,10 @@ from repro.server.errors import ConsignError, UnknownUnicoreJobError
 from repro.server.njs.codine_layer import CodineJobControl
 from repro.server.njs.incarnation import IncarnationCache, incarnate_task
 from repro.server.njs.jobrun import JobRun
-from repro.server.njs.journal import JobJournal, JournalEntry
+from repro.server.njs.restored import RestoredRun
+from repro.storage.backend import StorageBackend, resolve_storage
+from repro.storage.journal import JobJournal, JournalEntry
+from repro.storage.outcomes import OutcomeRecord, OutcomeStore
 from repro.server.njs.runindex import JobChangeLog, RunIndex
 from repro.server.vsite import Vsite
 from repro.simkernel import Event, Simulator
@@ -231,6 +234,7 @@ class NetworkJobSupervisor:
         own_inbox: bool = True,
         accounting=None,
         max_active_per_user: int | None = None,
+        storage: StorageBackend | None = None,
     ) -> None:
         self.sim = sim
         self.usite_name = usite_name
@@ -269,7 +273,6 @@ class NetworkJobSupervisor:
         #: files for a foreign job that arrived before its group did.
         self._early_files: dict[str, dict[str, bytes]] = {}
         #: dependency files produced by forwarded groups, pred id -> files.
-        self._job_seq = count(1)
         self._corr_seq = count(1)
         self._pending: dict[int, object] = {}  # corr_id -> Event
         #: Data-plane receiving endpoint: peer streams reassemble here
@@ -295,9 +298,23 @@ class NetworkJobSupervisor:
         #: Route to the federation broker hub, when one is attached.
         self._broker_route: list[tuple[str, str]] | None = None
         self._advertising = False
-        #: Write-ahead journal (models durable site storage): survives
+        #: Durable site-local persistence: the write-ahead journal, the
+        #: finished-job outcome store, and the job-id cursor all live in
+        #: one pluggable backend (``REPRO_STORAGE`` selects the default).
+        self.storage = storage if storage is not None else resolve_storage(None)
+        self.storage.bind_metrics(telemetry_for(sim).metrics)
+        self._meta = self.storage.table(f"{usite_name}.meta")
+        #: Write-ahead journal over backend storage: survives
         #: :meth:`crash`, drives :meth:`restart`'s replay.
-        self.journal = JobJournal()
+        self.journal = JobJournal(
+            self.storage,
+            name=f"{usite_name}.journal",
+            metrics=telemetry_for(sim).metrics,
+        )
+        #: Finished jobs as persisted records (status, outcome bytes,
+        #: Uspace manifest) — what a cold start serves terminal queries
+        #: from.
+        self._outcomes = OutcomeStore(self.storage, f"{usite_name}.outcomes")
         #: True between :meth:`crash` and :meth:`restart`: in-memory
         #: state is gone, every service raises ServiceUnavailable.
         self.crashed = False
@@ -328,6 +345,17 @@ class NetworkJobSupervisor:
         self._broker_route = list(route)
 
     # ------------------------------------------------------------ consign
+    def _next_job_id(self) -> str:
+        """Allocate the next job id from the durable cursor.
+
+        Persisting the cursor keeps job ids stable across a cold restart
+        (a restored site must not re-issue ``U00001`` over a recovered
+        job of the same name).
+        """
+        seq = int(typing.cast(int, self._meta.get("job_seq", 0))) + 1
+        self._meta.put("job_seq", seq)
+        return f"U{seq:05d}@{self.usite_name}"
+
     def consign(
         self,
         ajo: AbstractJobObject,
@@ -397,29 +425,32 @@ class NetworkJobSupervisor:
                 tracer.end_span(consign_span, error=err)
             raise
 
-        if job_id is None:
-            job_id = f"U{next(self._job_seq):05d}@{self.usite_name}"
-        run = JobRun.create(
-            self.sim, job_id, ajo, dn, workstation_files=workstation_files
-        )
-        run.trace_id = trace_id
-        self._runs[job_id] = run
-        run.on_change = self._note_change
-        status = run.status()
-        self._index.add(job_id, dn, status.value, status.is_terminal)
-        self._changes.record(self._listing_for(run, status.value), dn)
-        if parent_job_id is not None:
-            self._foreign_runs[parent_job_id] = run
-        if not is_replay:
-            self.journal.record_consign(
-                job_id,
-                encode_ajo(ajo),
-                dn,
-                workstation_files=workstation_files,
-                trace_id=trace_id,
-                parent_job_id=parent_job_id,
-                forward_meta=forward_meta,
+        # One durable unit: the job-id cursor advance and the journal's
+        # consign record land together or not at all.
+        with self.storage.batch():
+            if job_id is None:
+                job_id = self._next_job_id()
+            run = JobRun.create(
+                self.sim, job_id, ajo, dn, workstation_files=workstation_files
             )
+            run.trace_id = trace_id
+            self._runs[job_id] = run
+            run.on_change = self._note_change
+            status = run.status()
+            self._index.add(job_id, dn, status.value, status.is_terminal)
+            self._changes.record(self._listing_for(run, status.value), dn)
+            if parent_job_id is not None:
+                self._foreign_runs[parent_job_id] = run
+            if not is_replay:
+                self.journal.record_consign(
+                    job_id,
+                    encode_ajo(ajo),
+                    dn,
+                    workstation_files=workstation_files,
+                    trace_id=trace_id,
+                    parent_job_id=parent_job_id,
+                    forward_meta=forward_meta,
+                )
         if consign_span is not None:
             # The job span outlives the consign acknowledgement: it closes
             # in _run_job once supervision finishes.
@@ -523,10 +554,34 @@ class NetworkJobSupervisor:
                 run.job_span.set(status=status.value),
                 error=None if status is ActionStatus.SUCCESSFUL else status.value,
             )
-        self.journal.record_done(run.job_id)
+        # Completion and the outcome record are one durable unit: after
+        # this batch, even a cold-started successor can serve the job's
+        # listing, outcome tree, and Uspace files.
+        with self.storage.batch():
+            self.journal.record_done(run.job_id)
+            self._persist_outcome(run)
         assert run.done_event is not None
         if not run.done_event.triggered:
             run.done_event.succeed(run.status())
+
+    def _persist_outcome(self, run: JobRun) -> None:
+        """Write the finished job's durable record (outcome + files)."""
+        files: dict[str, bytes] = {}
+        for uspace in run.uspaces.values():
+            for path in uspace.files():
+                files.setdefault(path, uspace.read(path))
+        status = run.status()
+        self._outcomes.put(OutcomeRecord(
+            job_id=run.job_id,
+            name=run.root.name,
+            user_dn=run.user_dn,
+            status=status.value,
+            submitted_at=run.submitted_at,
+            recovered=run.recovered,
+            trace_id=run.trace_id,
+            outcome_bytes=encode_outcome(run.root_outcome),
+            files=files,
+        ))
 
     def _run_group(self, run: JobRun, group: AbstractJobObject):
         if group.tasks() or group.id == run.root.id:
@@ -1422,24 +1477,27 @@ class NetworkJobSupervisor:
             self.cancel(run.job_id)
 
     # ------------------------------------------------------- crash / recovery
-    def crash(self) -> None:
+    def crash(self, cold: bool = False) -> None:
         """Kill the NJS process: all in-memory state is gone.
 
         Supervision processes are interrupted (their process events
         defused so the simulator does not treat orphan failures as
         crashes), run tables and peer correlation state are wiped, and
         every service raises :class:`ServiceUnavailable` until
-        :meth:`restart`.  The journal — durable storage — survives, and
-        so do *finished* runs: their outcomes live in Uspaces on the
-        site disk and their completion is journaled, so a crash after
-        completion must not make the job unknowable to later queries.
+        :meth:`restart`.  The journal and outcome store — durable
+        backend storage — survive.  A *warm* crash additionally keeps
+        finished runs' Python objects (their outcomes live in Uspaces on
+        the site disk, so a crash after completion must not make the job
+        unknowable to later queries); ``cold=True`` models a full site
+        power loss where even those objects are gone and :meth:`restart`
+        must rebuild them from the storage backend.
         """
         if self.crashed:
             return
         self.crashed = True
         self.crashes += 1
         telemetry_for(self.sim).metrics.counter("njs.crashes").inc()
-        finished = {
+        finished = {} if cold else {
             job_id: run
             for job_id, run in self._runs.items()
             if (entry := self.journal.entry(job_id)) is not None and entry.done
@@ -1480,15 +1538,51 @@ class NetworkJobSupervisor:
         self._pending_forward_files.clear()
         # SSL sessions to peers died with the process: re-handshake.
         self._peer_sessions.clear()
+        if cold:
+            # Process memory is gone entirely: caches included.
+            self.incarnation_cache = IncarnationCache()
 
     def restart(self) -> None:
-        """Come back up and replay every incomplete journal entry."""
+        """Come back up from durable storage and resume every job.
+
+        The journal is re-read from the backend (warm restarts find the
+        same entries; cold ones rebuild the table from the log), jobs
+        that finished before the outage are resurrected from the outcome
+        store, and every incomplete entry is replayed.
+        """
         if not self.crashed:
             return
         self.crashed = False
         telemetry_for(self.sim).metrics.counter("njs.restarts").inc()
+        self.journal.reload()
+        self.recover()
+
+    def recover(self) -> None:
+        """Rebuild run state from storage (shared by restart and grid
+        restore, where the NJS instance itself is brand new)."""
+        self._restore_finished()
         for entry in self.journal.incomplete():
             self._replay(entry)
+
+    def _restore_finished(self) -> None:
+        """Resurrect finished jobs that exist only in the outcome store."""
+        telemetry = telemetry_for(self.sim)
+        for entry in self.journal.entries():
+            if not entry.done or entry.job_id in self._runs:
+                continue
+            record = self._outcomes.get(entry.job_id)
+            if record is None:
+                continue  # journaled done but record disposed mid-write
+            run = typing.cast(JobRun, RestoredRun(record, entry.ajo_bytes))
+            self._runs[entry.job_id] = run
+            status = run.status()
+            self._index.add(
+                entry.job_id, run.user_dn, status.value, status.is_terminal
+            )
+            self._changes.record(
+                self._listing_for(run, status.value), run.user_dn
+            )
+            telemetry.metrics.counter("njs.restored_runs").inc()
 
     def _replay(self, entry: JournalEntry) -> None:
         """Re-supervise one journaled job under its original id."""
@@ -1729,7 +1823,9 @@ class NetworkJobSupervisor:
         del self._runs[job_id]
         self._index.discard(job_id, run.user_dn)
         self._changes.record_removed(job_id, run.user_dn)
-        self.journal.forget(job_id)
+        with self.storage.batch():
+            self.journal.forget(job_id)
+            self._outcomes.forget(job_id)
         for parent_id, foreign in list(self._foreign_runs.items()):
             if foreign is run:
                 del self._foreign_runs[parent_id]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.batch.machines import MachineConfig
 from repro.net.sim_transport import Network
+from repro.resources.page import ResourcePage
 from repro.security.applet import SignedApplet
 from repro.security.ca import CertificateAuthority, CertificateStore
 from repro.security.uudb import UUDB, UserMapping
@@ -20,6 +21,7 @@ from repro.server.gateway import Gateway
 from repro.server.njs.supervisor import NetworkJobSupervisor
 from repro.server.vsite import Vsite
 from repro.simkernel import Simulator
+from repro.storage.backend import StorageBackend, resolve_storage
 from repro.vfs.spaces import Xspace
 
 __all__ = ["Usite"]
@@ -44,6 +46,7 @@ class Usite:
         firewall_split: bool = True,
         gateway_count: int = 1,
         max_active_per_user: int | None = None,
+        storage: StorageBackend | None = None,
     ) -> None:
         """``firewall_split`` separates the web server (on the firewall
         host) from the NJS (inside), joined by the section 5.2 IP socket;
@@ -54,7 +57,9 @@ class Usite:
         load-balancing one Usite behind several web servers.  Peer and
         WAN wiring stays on the primary (``self.gateway``).
         ``max_active_per_user`` is the site-local fair-use concurrency
-        cap enforced at consign time.
+        cap enforced at consign time.  ``storage`` is the site's durable
+        backend (UUDB mappings, resource pages, the NJS journal and
+        outcome store); the default resolves ``REPRO_STORAGE``.
         """
         self.sim = sim
         self.network = network
@@ -83,8 +88,9 @@ class Usite:
             )
             self.gateway_hosts.append(extra)
 
+        self.storage = storage if storage is not None else resolve_storage(None)
         self.xspace = Xspace(name)
-        self.uudb = UUDB(name)
+        self.uudb = UUDB(name, storage=self.storage)
         self.cert_store = CertificateStore(trusted=[ca])
         self.server_cert, self.server_key = ca.issue(
             DistinguishedName(cn=f"gateway.{name.lower()}.de", o=name, c="DE"),
@@ -96,6 +102,11 @@ class Usite:
             m.name: Vsite(sim, m, scheduler=schedulers.get(m.name))
             for m in machines
         }
+        #: Durable copy of each Vsite's published resource page — a site
+        #: cold start serves the pages the administrator last published,
+        #: not freshly regenerated defaults.
+        self._resource_table = self.storage.table(f"{name}.resources")
+        self._sync_resource_pages()
 
         from repro.ext.accounting import AccountingLog
 
@@ -114,6 +125,7 @@ class Usite:
             own_inbox=firewall_split,
             accounting=self.accounting,
             max_active_per_user=max_active_per_user,
+            storage=self.storage,
         )
         #: All gateways (one per gateway host), sharing the NJS, UUDB,
         #: and certificate store; ``self.gateway`` is the primary.
@@ -131,6 +143,49 @@ class Usite:
             for host in self.gateway_hosts
         ]
         self.gateway = self.gateways[0]
+
+    # -- resource page persistence ------------------------------------------
+    def _sync_resource_pages(self) -> None:
+        """Restore stored pages, or persist the freshly generated ones."""
+        for vsite_name, vsite in self.vsites.items():
+            stored = self._resource_table.get(vsite_name)
+            if stored is not None:
+                vsite.resource_page = ResourcePage.from_asn1(bytes(stored))
+            else:
+                self._resource_table.put(
+                    vsite_name, vsite.resource_page.to_asn1()
+                )
+
+    def publish_resource_page(self, vsite_name: str, page: ResourcePage) -> None:
+        """Publish an updated page (section 5.4) and persist it durably."""
+        self.vsites[vsite_name].resource_page = page
+        self._resource_table.put(vsite_name, page.to_asn1())
+
+    # -- full-site failure (driven by repro.faults) -------------------------
+    def crash_site(self) -> None:
+        """Power-fail the whole site: every gateway plus a *cold* NJS.
+
+        Unlike a bare ``njs.crash()`` (process restart, warm Python
+        heap), this models losing the machine room: the only state that
+        survives is whatever the storage backend holds.
+        """
+        for gateway in self.gateways:
+            gateway.crash()
+        self.njs.crash(cold=True)
+
+    def restart_site(self) -> None:
+        """Cold-start the site from durable storage.
+
+        The UUDB re-reads its mapping table, resource pages come back
+        from the administrator's last publish, the gateways resume
+        serving, and the NJS reloads its journal — finished jobs
+        reappear as restored listings, incomplete ones are replayed.
+        """
+        self.uudb.reload()
+        self._sync_resource_pages()
+        for gateway in self.gateways:
+            gateway.restart()
+        self.njs.restart()
 
     # -- administration -----------------------------------------------------
     def add_user(

@@ -1,0 +1,19 @@
+"""Storage-layer errors."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["StorageError", "SnapshotError"]
+
+
+class StorageError(ReproError):
+    """A persistence backend refused or failed an operation."""
+
+    code = "storage.backend"
+
+
+class SnapshotError(StorageError):
+    """A grid snapshot could not be taken or restored."""
+
+    code = "storage.snapshot"

@@ -1,0 +1,83 @@
+"""Durable per-job outcome records: what survives when memory does not.
+
+A finished job's observable surface — its status rollup, the encoded
+outcome tree (stdout/stderr included), and the Uspace files the user may
+still fetch — is written here in one batch with the journal's ``done``
+record.  A cold-started NJS rebuilds *finished* jobs from this table as
+:class:`~repro.server.njs.restored.RestoredRun` views, so completion
+survives a full-site restart exactly as section 4.2's "single stateful
+tier" demands, and disposal deletes the record just like it destroys
+the Uspaces.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.storage.backend import StorageBackend
+
+__all__ = ["OutcomeRecord", "OutcomeStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class OutcomeRecord:
+    """One finished job as persisted."""
+
+    job_id: str
+    name: str
+    user_dn: str
+    status: str
+    submitted_at: float
+    recovered: bool
+    trace_id: str
+    outcome_bytes: bytes
+    #: Uspace files still fetchable after restart: path -> content.
+    files: dict[str, bytes]
+
+
+class OutcomeStore:
+    """Typed view over the backend table holding finished-job records."""
+
+    def __init__(self, storage: StorageBackend, name: str) -> None:
+        self._table = storage.table(name)
+
+    def put(self, record: OutcomeRecord) -> None:
+        self._table.put(record.job_id, {
+            "name": record.name,
+            "user_dn": record.user_dn,
+            "status": record.status,
+            "submitted_at": record.submitted_at,
+            "recovered": record.recovered,
+            "trace_id": record.trace_id,
+            "outcome_bytes": record.outcome_bytes,
+            "files": record.files,
+        })
+
+    def get(self, job_id: str) -> OutcomeRecord | None:
+        raw = typing.cast("dict | None", self._table.get(job_id))
+        if raw is None:
+            return None
+        return OutcomeRecord(
+            job_id=job_id,
+            name=raw["name"],
+            user_dn=raw["user_dn"],
+            status=raw["status"],
+            submitted_at=raw["submitted_at"],
+            recovered=raw["recovered"],
+            trace_id=raw["trace_id"],
+            outcome_bytes=raw["outcome_bytes"],
+            files=dict(raw["files"]),
+        )
+
+    def forget(self, job_id: str) -> None:
+        self._table.delete(job_id)
+
+    def job_ids(self) -> list[str]:
+        return self._table.keys()
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)

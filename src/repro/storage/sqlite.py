@@ -1,0 +1,155 @@
+"""Real durability via the stdlib ``sqlite3``.
+
+One database file (or ``:memory:``) holds every table and log of a
+deployment in two relations::
+
+    kv  (tbl TEXT, key TEXT, value BLOB)        -- the named tables
+    logs(log TEXT, seq INTEGER, value BLOB)     -- the append-only logs
+
+Values are the canonical codec bytes, so a database written by one
+process is readable by a cold-started successor — the warm-restart
+story of the persistence layer.  :meth:`StorageBackend.batch` maps to a
+real transaction: either every record of a consignment lands or none
+does.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.storage.backend import StorageBackend
+
+__all__ = ["SQLiteBackend"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS kv (
+    tbl   TEXT NOT NULL,
+    key   TEXT NOT NULL,
+    value BLOB NOT NULL,
+    PRIMARY KEY (tbl, key)
+);
+CREATE TABLE IF NOT EXISTS logs (
+    log   TEXT NOT NULL,
+    seq   INTEGER NOT NULL,
+    value BLOB NOT NULL,
+    PRIMARY KEY (log, seq)
+);
+"""
+
+
+class SQLiteBackend(StorageBackend):
+    """SQLite behind the :class:`StorageBackend` interface."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        super().__init__()
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        # The simulation is single-threaded and batches explicitly;
+        # autocommit mode keeps the transaction boundaries ours alone.
+        self._conn.isolation_level = None
+        self._conn.executescript(_SCHEMA)
+        self._next_seq: dict[str, int] = {
+            log: int(top)
+            for log, top in self._conn.execute(
+                "SELECT log, MAX(seq) FROM logs GROUP BY log"
+            )
+        }
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- table primitives ----------------------------------------------------
+    def _table_get(self, table: str, key: str) -> bytes | None:
+        row = self._conn.execute(
+            "SELECT value FROM kv WHERE tbl = ? AND key = ?", (table, key)
+        ).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def _table_put(self, table: str, key: str, data: bytes) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO kv (tbl, key, value) VALUES (?, ?, ?)",
+            (table, key, data),
+        )
+
+    def _table_delete(self, table: str, key: str) -> None:
+        self._conn.execute(
+            "DELETE FROM kv WHERE tbl = ? AND key = ?", (table, key)
+        )
+
+    def _table_keys(self, table: str) -> list[str]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT key FROM kv WHERE tbl = ? ORDER BY key", (table,)
+            )
+        ]
+
+    def _table_dump(self, table: str) -> list[tuple[str, bytes]]:
+        return [
+            (row[0], bytes(row[1]))
+            for row in self._conn.execute(
+                "SELECT key, value FROM kv WHERE tbl = ? ORDER BY key",
+                (table,),
+            )
+        ]
+
+    def _table_names(self) -> list[str]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT DISTINCT tbl FROM kv ORDER BY tbl"
+            )
+        ]
+
+    # -- log primitives ------------------------------------------------------
+    def _log_append(self, log: str, data: bytes) -> int:
+        seq = self._next_seq.get(log, 0) + 1
+        self._next_seq[log] = seq
+        self._conn.execute(
+            "INSERT INTO logs (log, seq, value) VALUES (?, ?, ?)",
+            (log, seq, data),
+        )
+        return seq
+
+    def _log_records(self, log: str) -> list[bytes]:
+        return [
+            bytes(row[0])
+            for row in self._conn.execute(
+                "SELECT value FROM logs WHERE log = ? ORDER BY seq", (log,)
+            )
+        ]
+
+    def _log_truncate(self, log: str) -> None:
+        self._conn.execute("DELETE FROM logs WHERE log = ?", (log,))
+        self._next_seq.pop(log, None)
+
+    def _log_len(self, log: str) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM logs WHERE log = ?", (log,)
+        ).fetchone()
+        return int(row[0])
+
+    def _log_names(self) -> list[str]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT DISTINCT log FROM logs ORDER BY log"
+            )
+        ]
+
+    def _clear(self) -> None:
+        self._conn.execute("DELETE FROM kv")
+        self._conn.execute("DELETE FROM logs")
+        self._next_seq.clear()
+
+    # -- transactions --------------------------------------------------------
+    def _begin(self) -> None:
+        self._conn.execute("BEGIN")
+
+    def _commit(self) -> None:
+        self._conn.execute("COMMIT")
+
+    def _rollback(self) -> None:
+        self._conn.execute("ROLLBACK")
