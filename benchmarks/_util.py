@@ -96,10 +96,14 @@ def print_table(
         for i, h in enumerate(headers)
     ]
     print(f"\n=== {title} ===")
-    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths, strict=True)
+    ))
     print("  ".join("-" * w for w in widths))
     for row in rows:
-        print("  ".join(f"{cell}".ljust(w) for cell, w in zip(row, widths)))
+        print("  ".join(
+            f"{cell}".ljust(w) for cell, w in zip(row, widths, strict=False)
+        ))
 
 
 def single_site_session(seed: int = 0, machine: str = "FZJ-T3E", site: str = "FZJ"):

@@ -163,7 +163,7 @@ def _replay(scale: int = 1, legacy_wait: bool = False,
                 stats["successful"] += 1
 
     for i, (user, home) in enumerate(
-        zip(users, ("FZJ", "ZIB", "DWD"))
+        zip(users, ("FZJ", "ZIB", "DWD"), strict=True)
     ):
         for stream in range(scale):
             grid.sim.process(user_stream(user, home, f"user{i}.{stream}"))
@@ -219,7 +219,7 @@ def _run_replay(benchmark, scale: int, legacy_wait: bool, horizon: float):
         for run in site.njs._runs.values():
             assert run.status().is_terminal, run.job_id
     # Every machine saw UNICORE work and did real local work too.
-    for _, local_n, unicore_n, _, stuck in rows:
+    for _, local_n, _unicore_n, _, stuck in rows:
         assert stuck == 0
         assert local_n > 0
     assert sum(r[2] for r in rows) > min_submitted

@@ -126,5 +126,5 @@ def test_e7_sequenced_delivery(benchmark):
     # (incarnation + status-poll quantization), and total sequencing
     # overhead stays under 5% of every job's makespan.
     assert max(overheads) < 2.0
-    for (shape, n), (makespan, edges, stages) in results.items():
+    for (_shape, _n), (makespan, _edges, stages) in results.items():
         assert makespan - stages * STAGE_S < 0.05 * makespan

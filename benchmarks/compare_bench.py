@@ -44,12 +44,23 @@ __all__ = [
     "MetricSpec",
     "METRIC_SPECS",
     "FAIL_THRESHOLD",
+    "CompareBenchError",
     "load_artifact",
     "metric_value",
     "compare_metric",
     "compare_experiment",
     "main",
 ]
+
+
+class CompareBenchError(Exception):
+    """A gate input is unusable (corrupt artifact, unknown experiment).
+
+    ``main`` turns this into a one-line message and exit code 2 — the
+    gate must never die with a traceback on a bad input, because a
+    traceback reads as "the tooling is broken" when the actual story is
+    "your artifact is broken".
+    """
 
 #: Relative regression past the baseline that hard-fails the gate.
 FAIL_THRESHOLD = 0.25
@@ -96,12 +107,28 @@ METRIC_SPECS: dict[str, tuple[MetricSpec, ...]] = {
 
 
 def load_artifact(directory: str, experiment: str) -> dict | None:
-    """Read ``BENCH_<experiment>.json`` from ``directory`` (None if absent)."""
+    """Read ``BENCH_<experiment>.json`` from ``directory`` (None if absent).
+
+    Raises :class:`CompareBenchError` when the file exists but cannot be
+    read or parsed — a half-written artifact must fail loudly, not be
+    mistaken for "bench did not run".
+    """
     path = os.path.join(directory, f"BENCH_{experiment}.json")
     if not os.path.exists(path):
         return None
-    with open(path) as handle:
-        return json.load(handle)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        raise CompareBenchError(
+            f"cannot read artifact {path}: {err}"
+        ) from None
+    if not isinstance(data, dict):
+        raise CompareBenchError(
+            f"artifact {path} is not a JSON object "
+            f"(got {type(data).__name__})"
+        )
+    return data
 
 
 def metric_value(artifact: dict, dotted: str) -> float | None:
@@ -212,7 +239,19 @@ def main(argv: list[str] | None = None) -> int:
         help="experiments to compare (default: all with gate specs)",
     )
     opts = parser.parse_args(argv)
+    # Explicitly-named experiments tighten the contract: the caller
+    # asserted these artifacts exist, so absence is a failure rather
+    # than the default-mode "bench did not run" warning.
+    explicit = bool(opts.experiments)
     experiments = opts.experiments or sorted(METRIC_SPECS)
+    unknown = [e for e in experiments if e not in METRIC_SPECS]
+    if unknown:
+        print(
+            f"compare_bench: unknown experiment(s) {', '.join(unknown)}; "
+            f"gated experiments are: {', '.join(sorted(METRIC_SPECS))}",
+            file=sys.stderr,
+        )
+        return 2
 
     if opts.update:
         os.makedirs(opts.baselines, exist_ok=True)
@@ -228,11 +267,24 @@ def main(argv: list[str] | None = None) -> int:
 
     failed = False
     for experiment in experiments:
+        try:
+            baseline = load_artifact(opts.baselines, experiment)
+            fresh = load_artifact(opts.fresh, experiment)
+        except CompareBenchError as err:
+            print(f"compare_bench: {err}", file=sys.stderr)
+            return 2
+        if explicit and (baseline is None or fresh is None):
+            which = "baseline" if baseline is None else "fresh"
+            where = opts.baselines if baseline is None else opts.fresh
+            print(
+                f"compare_bench: {experiment} was requested explicitly but "
+                f"its {which} artifact BENCH_{experiment}.json is missing "
+                f"from {where}",
+                file=sys.stderr,
+            )
+            return 2
         rows = compare_experiment(
-            experiment,
-            load_artifact(opts.baselines, experiment),
-            load_artifact(opts.fresh, experiment),
-            threshold=opts.threshold,
+            experiment, baseline, fresh, threshold=opts.threshold,
         )
         _print_rows(experiment, rows)
         failed = failed or any(row["verdict"] == "fail" for row in rows)

@@ -18,6 +18,11 @@ available for CI pipelines.
 checkpoints the whole deployment to a file; ``repro restore`` thaws such
 a file into a fresh grid and reports what came back — the whole-grid
 warm-restart path, demonstrable from the shell.
+
+``repro devlint`` points the same static-analysis discipline at the
+codebase itself: determinism, error-code registry, observability
+registry, and protocol consistency (the RD1xx–RD4xx rule packs of
+``repro.devlint``).  It is the hard lint gate in CI.
 """
 
 import argparse
@@ -164,6 +169,49 @@ def lint_command(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def devlint_command(args: argparse.Namespace) -> None:
+    """Lint the codebase's own invariants; exit 1 on errors."""
+    from pathlib import Path
+
+    from repro.devlint import load_baseline, run_devlint, write_baseline
+
+    baseline: set[str] = set()
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is not None and not args.write_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError:
+            print(
+                f"devlint: baseline {baseline_path} does not exist "
+                "(use --write-baseline to create it)",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        except ValueError as err:
+            print(f"devlint: {err}", file=sys.stderr)
+            sys.exit(2)
+
+    report = run_devlint(baseline=baseline)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print(
+                "devlint: --write-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        count = write_baseline(baseline_path, report)
+        print(f"devlint: wrote {count} suppression(s) to {baseline_path}")
+        return
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if not report.ok:
+        sys.exit(1)
+
+
 def snapshot_command(args: argparse.Namespace) -> None:
     """Run a small workload, then checkpoint the whole grid to a file."""
     print(f"Building the German grid (storage={args.storage!r})...")
@@ -234,6 +282,22 @@ def main(argv: list[str] | None = None) -> None:
         "--json", action="store_true",
         help="emit the diagnostics as JSON instead of text",
     )
+    devlint_parser = sub.add_parser(
+        "devlint",
+        help="lint the codebase's own invariants (RD1xx-RD4xx rule packs)",
+    )
+    devlint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    devlint_parser.add_argument(
+        "--baseline", metavar="PATH", default="",
+        help="JSON suppression file of accepted legacy findings",
+    )
+    devlint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to --baseline and exit 0",
+    )
     snap_parser = sub.add_parser(
         "snapshot", help="run a workload and checkpoint the grid to a file"
     )
@@ -263,6 +327,8 @@ def main(argv: list[str] | None = None) -> None:
         trace_command(args)
     elif args.command == "lint":
         lint_command(args)
+    elif args.command == "devlint":
+        devlint_command(args)
     elif args.command == "snapshot":
         snapshot_command(args)
     elif args.command == "restore":

@@ -83,7 +83,10 @@ class Dialect:
 
     def local_state(self, phase: str) -> str:
         """Map a uniform phase (queued/running/done/failed) to the local name."""
-        mapping = dict(zip(("queued", "running", "done", "failed"), self.state_names))
+        mapping = dict(
+            zip(("queued", "running", "done", "failed"), self.state_names,
+                strict=True)
+        )
         try:
             return mapping[phase]
         except KeyError:

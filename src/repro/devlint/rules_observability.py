@@ -1,0 +1,206 @@
+"""RD3xx — observability registry consistency.
+
+A typo'd metric name does not crash: ``metrics.counter("njs.incarntions")``
+happily creates a fresh counter that stays at zero while dashboards and
+benchmark gates silently read the real one.  The committed registry
+(:mod:`repro.observability.registry`) is the vocabulary of counter,
+histogram, and span names the instrumentation is allowed to emit; these
+rules diff every literal in the tree against it:
+
+* ``RD301`` — a counter name literal is not registered;
+* ``RD302`` — a histogram name literal is not registered;
+* ``RD303`` — a span name literal is not registered;
+* ``RD304`` — a dynamic (f-string) metric name has no registered
+  family prefix (``faults.`` covers ``faults.{kind}``);
+* ``RD305`` — a registered name is emitted nowhere in the tree (a dead
+  registry entry usually means the emitting site was renamed — the
+  exact drift the registry exists to catch, seen from the other side).
+
+Adding an instrument is a two-line change on purpose: the emitting call
+plus the registry entry, reviewed together.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+from dataclasses import dataclass
+
+from repro.devlint.diagnostics import DevDiagnostic, Severity
+from repro.devlint.engine import Project, ProjectRule, SourceFile
+
+__all__ = ["MetricUse", "extract_metric_uses", "observability_rules"]
+
+#: Method names that take a counter name as their first argument.
+_COUNTER_METHODS = frozenset({"counter", "counter_value", "_count"})
+_HISTOGRAM_METHODS = frozenset({"histogram"})
+_SPAN_METHODS = frozenset({"start_span", "span"})
+
+
+@dataclass(frozen=True, slots=True)
+class MetricUse:
+    """One instrumentation site: where a name (or name family) is emitted."""
+
+    kind: str  #: "counter" | "histogram" | "span"
+    name: str  #: full name, or the literal prefix for dynamic uses
+    line: int
+    dynamic: bool = False  #: True for f-string names (``name`` is a prefix)
+
+
+def _literal_prefix(node: ast.JoinedStr) -> str:
+    """Leading constant text of an f-string (empty if it starts dynamic)."""
+    if node.values and isinstance(node.values[0], ast.Constant):
+        return str(node.values[0].value)
+    return ""
+
+
+def extract_metric_uses(f: SourceFile) -> list[MetricUse]:
+    """Every counter/histogram/span name literal in one file."""
+    uses: list[MetricUse] = []
+    for node in ast.walk(f.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        method = node.func.attr
+        if method in _COUNTER_METHODS:
+            kind = "counter"
+        elif method in _HISTOGRAM_METHODS:
+            kind = "histogram"
+        elif method in _SPAN_METHODS:
+            kind = "span"
+        else:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            uses.append(MetricUse(kind=kind, name=arg.value, line=arg.lineno))
+        elif isinstance(arg, ast.JoinedStr):
+            uses.append(MetricUse(
+                kind=kind, name=_literal_prefix(arg),
+                line=arg.lineno, dynamic=True,
+            ))
+        # Bare variables are forwarders (e.g. a helper's parameter);
+        # their call sites carry the literal and are checked there.
+    return uses
+
+
+def _registry() -> "typing.Any":
+    from repro.observability import registry
+
+    return registry
+
+
+class MetricNameRule(ProjectRule):
+    """RD301/RD302/RD303/RD304: every emitted name is registered."""
+
+    code = "RD301"
+
+    _UNKNOWN = {
+        "counter": ("RD301", "counter"),
+        "histogram": ("RD302", "histogram"),
+        "span": ("RD303", "span"),
+    }
+
+    def check_project(
+        self, project: Project
+    ) -> typing.Iterator[DevDiagnostic]:
+        reg = _registry()
+        known = {
+            "counter": reg.COUNTERS,
+            "histogram": reg.HISTOGRAMS,
+            "span": reg.SPANS,
+        }
+        families = {
+            "counter": reg.COUNTER_PREFIXES,
+            "histogram": frozenset(),
+            "span": reg.SPAN_PREFIXES,
+        }
+        for f in project.files:
+            if f.rel.startswith("src/repro/observability/"):
+                continue  # the instrument layer itself names nothing
+            for use in extract_metric_uses(f):
+                if use.dynamic:
+                    if not any(
+                        use.name.startswith(p) for p in families[use.kind]
+                    ):
+                        yield DevDiagnostic(
+                            code="RD304", severity=Severity.ERROR,
+                            message=(
+                                f"dynamic {use.kind} name {use.name!r}... "
+                                "matches no registered family prefix in "
+                                "repro.observability.registry"
+                            ),
+                            file=f.rel, line=use.line,
+                        )
+                    continue
+                if use.name not in known[use.kind] and not any(
+                    use.name.startswith(p) for p in families[use.kind]
+                ):
+                    rd, noun = self._UNKNOWN[use.kind]
+                    yield DevDiagnostic(
+                        code=rd, severity=Severity.ERROR,
+                        message=(
+                            f"{noun} name {use.name!r} is not in "
+                            "repro.observability.registry — a typo here "
+                            "creates a silent zero metric"
+                        ),
+                        file=f.rel, line=use.line,
+                    )
+
+
+class DeadRegistryEntryRule(ProjectRule):
+    """RD305: registered names must be emitted somewhere."""
+
+    code = "RD305"
+
+    def check_project(
+        self, project: Project
+    ) -> typing.Iterator[DevDiagnostic]:
+        reg = _registry()
+        registry_file = "src/repro/observability/registry.py"
+        emitted: dict[str, set[str]] = {
+            "counter": set(), "histogram": set(), "span": set(),
+        }
+        prefixes: dict[str, set[str]] = {
+            "counter": set(), "histogram": set(), "span": set(),
+        }
+        for f in project.files:
+            for use in extract_metric_uses(f):
+                if use.dynamic:
+                    prefixes[use.kind].add(use.name)
+                else:
+                    emitted[use.kind].add(use.name)
+        spans = [
+            ("counter", reg.COUNTERS, emitted["counter"]),
+            ("histogram", reg.HISTOGRAMS, emitted["histogram"]),
+            ("span", reg.SPANS, emitted["span"]),
+        ]
+        for kind, registered, seen in spans:
+            for name in sorted(registered - seen):
+                yield DevDiagnostic(
+                    code="RD305", severity=Severity.ERROR,
+                    message=(
+                        f"registered {kind} name {name!r} is emitted nowhere "
+                        "in src/repro — remove it or restore the emitter"
+                    ),
+                    file=registry_file, line=0,
+                )
+        fams = [
+            ("counter", reg.COUNTER_PREFIXES, prefixes["counter"]),
+            ("span", reg.SPAN_PREFIXES, prefixes["span"]),
+        ]
+        for kind, registered, seen in fams:
+            for prefix in sorted(registered):
+                if not any(s.startswith(prefix) for s in seen):
+                    yield DevDiagnostic(
+                        code="RD305", severity=Severity.ERROR,
+                        message=(
+                            f"registered {kind} family {prefix!r} has no "
+                            "dynamic emitter in src/repro"
+                        ),
+                        file=registry_file, line=0,
+                    )
+
+
+def observability_rules() -> list[ProjectRule]:
+    return [MetricNameRule(), DeadRegistryEntryRule()]

@@ -25,8 +25,14 @@ here — eager imports would cycle.
 
 from __future__ import annotations
 
+import typing
+
 __all__ = [
     "ReproError",
+    "ERROR_CODES",
+    "DuplicateErrorCode",
+    "error_code_registry",
+    "iter_error_classes",
     # net
     "NetworkError", "HostUnreachable", "ConnectionLost", "ConnectionRefused",
     "ConnectionReset", "FrameError", "FrameDecodeError", "TransportMismatch",
@@ -142,7 +148,77 @@ _HOMES = {
 }
 
 
+class DuplicateErrorCode(RuntimeError):
+    """Two exception classes declared the same stable ``code``.
+
+    Codes are a wire contract (``Reply.error_code``): a collision would
+    make the client-side re-raise ambiguous, so the registry refuses to
+    build instead of silently picking a winner.
+    """
+
+
+#: Error classes that live outside the ``_HOMES`` layer modules but
+#: still participate in the code registry.
+_EXTRA_HOMES = ("repro.analysis.diagnostics",)
+
+
+def iter_error_classes() -> "typing.Iterator[type[ReproError]]":
+    """Every :class:`ReproError` subclass the middleware defines.
+
+    Imports each layer error module first so the subclass walk is
+    complete, then yields classes defined inside ``repro.*`` (test
+    suites subclass :class:`ReproError` too; those stay out of the
+    registry).  Deterministic order: module, then qualified name.
+    """
+    import importlib
+
+    for home in sorted(set(_HOMES.values()) | set(_EXTRA_HOMES)):
+        importlib.import_module(home)
+
+    seen: set[type[ReproError]] = set()
+
+    def walk(cls: "type[ReproError]") -> None:
+        if cls in seen or not cls.__module__.startswith("repro."):
+            return
+        seen.add(cls)
+        for sub in cls.__subclasses__():
+            walk(sub)
+
+    walk(ReproError)
+    yield from sorted(seen, key=lambda c: (c.__module__, c.__qualname__))
+
+
+def error_code_registry() -> "typing.Mapping[str, type[ReproError]]":
+    """The canonical ``code -> exception class`` map, built on demand.
+
+    Only classes that *declare* their own ``code`` (rather than inherit
+    a parent's) register — a subclass without a declaration shares its
+    parent's wire identity, which :mod:`repro.devlint` flags separately.
+    Raises :class:`DuplicateErrorCode` if two classes claim one code.
+    """
+    registry: dict[str, type[ReproError]] = {}
+    for cls in iter_error_classes():
+        own = cls.__dict__.get("code")
+        if not isinstance(own, str):
+            continue
+        holder = registry.get(own)
+        if holder is not None and holder is not cls:
+            raise DuplicateErrorCode(
+                f"error code {own!r} declared by both "
+                f"{holder.__module__}.{holder.__qualname__} and "
+                f"{cls.__module__}.{cls.__qualname__}"
+            )
+        registry[own] = cls
+    import types
+
+    return types.MappingProxyType(dict(sorted(registry.items())))
+
+
 def __getattr__(name: str):
+    if name == "ERROR_CODES":
+        registry = error_code_registry()
+        globals()["ERROR_CODES"] = registry  # build once, then module speed
+        return registry
     home = _HOMES.get(name)
     if home is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,6 +8,7 @@ raw material of utilization plots.
 
 from __future__ import annotations
 
+import math
 import typing
 from dataclasses import dataclass
 
@@ -36,7 +37,7 @@ class GridMonitor:
     """Samples every Vsite of a grid on a fixed period."""
 
     def __init__(
-        self, grid: "Grid", period_s: float = 300.0, horizon_s: float = float("inf")
+        self, grid: "Grid", period_s: float = 300.0, horizon_s: float = math.inf
     ) -> None:
         if period_s <= 0:
             raise ValueError("period must be positive")

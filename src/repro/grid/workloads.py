@@ -15,6 +15,7 @@ All randomness flows through an injected ``numpy`` generator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -111,7 +112,7 @@ class LocalLoadGenerator:
         arrival_rate_per_s: float,
         profile: WorkloadProfile | None = None,
         queue: str = "batch",
-        horizon_s: float = float("inf"),
+        horizon_s: float = math.inf,
     ) -> None:
         self.sim = sim
         self.batch = batch

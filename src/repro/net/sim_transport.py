@@ -210,7 +210,7 @@ class Network(Transport):
             raise HostUnreachable(f"no link {src} -> {dst}") from None
 
     # -- snapshot support ------------------------------------------------------
-    def state_cursors(self) -> dict:
+    def state_cursors(self) -> dict[str, object]:
         """Message-id counter plus every link's loss-RNG state.
 
         Restoring these into an identically built network makes the
@@ -228,7 +228,7 @@ class Network(Transport):
             },
         }
 
-    def restore_cursors(self, cursors: dict) -> None:
+    def restore_cursors(self, cursors: dict[str, object]) -> None:
         self._msg_seq = count(int(typing.cast(int, cursors["msg_seq"])))
         states = typing.cast(dict, cursors.get("links", {}))
         for (a, b), link in self._links.items():

@@ -66,10 +66,13 @@ class Transport:
     realtime: bool = False
 
     # -- topology -------------------------------------------------------------
-    def add_host(self, name: str):
+    # Host and link objects are backend-specific (the simkernel Host
+    # carries an inbox Store; the aio backend hands out socket-backed
+    # peers), so the interface types them as Any.
+    def add_host(self, name: str) -> typing.Any:
         raise NotImplementedError
 
-    def host(self, name: str):
+    def host(self, name: str) -> typing.Any:
         raise NotImplementedError
 
     def link(
@@ -83,7 +86,7 @@ class Transport:
     ) -> None:
         raise NotImplementedError
 
-    def get_link(self, src: str, dst: str):
+    def get_link(self, src: str, dst: str) -> typing.Any:
         raise NotImplementedError
 
     def mark_wan(self, name: str) -> None:
@@ -108,7 +111,7 @@ class Transport:
         raise NotImplementedError
 
     # -- snapshot support -----------------------------------------------------
-    def state_cursors(self) -> dict:
+    def state_cursors(self) -> dict[str, object]:
         """Internal counters and RNG cursors, for grid snapshots.
 
         A restored grid must continue the exact message-id and loss-draw
@@ -123,7 +126,7 @@ class Transport:
             f"transport backend {self.kind!r} does not support snapshots"
         )
 
-    def restore_cursors(self, cursors: dict) -> None:
+    def restore_cursors(self, cursors: dict[str, object]) -> None:
         """Restore the cursors captured by :meth:`state_cursors`."""
         from repro.storage.errors import SnapshotError
 
@@ -212,13 +215,13 @@ def resolve_transport(
 def _sim_factory(sim: "Simulator", seed: int = 0, **options: object) -> Transport:
     from repro.net.sim_transport import Network
 
-    return Network(sim, seed=seed, **typing.cast(dict, options))
+    return Network(sim, seed=seed, **typing.cast("dict[str, typing.Any]", options))
 
 
 def _aio_factory(sim: "Simulator", seed: int = 0, **options: object) -> Transport:
     from repro.net.aio_transport import AioTransport
 
-    return AioTransport(sim, seed=seed, **typing.cast(dict, options))
+    return AioTransport(sim, seed=seed, **typing.cast("dict[str, typing.Any]", options))
 
 
 register_transport("sim", _sim_factory)

@@ -46,6 +46,9 @@ from dataclasses import dataclass
 from repro.net.errors import FrameDecodeError
 from repro.protocol.messages import Reply, Request
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    import asyncio
+
 __all__ = [
     "FTYPE_HELLO",
     "FTYPE_MSG",
@@ -309,7 +312,9 @@ def decode_frame(ftype: int, body: bytes) -> "str | WireMessage":
     raise FrameDecodeError(f"unknown frame type {ftype}")
 
 
-async def read_frames(reader) -> typing.AsyncIterator[tuple[int, bytes]]:
+async def read_frames(
+    reader: "asyncio.StreamReader",
+) -> typing.AsyncIterator[tuple[int, bytes]]:
     """Yield ``(ftype, body)`` frames off an asyncio StreamReader.
 
     Stops cleanly on EOF at a frame boundary; raises

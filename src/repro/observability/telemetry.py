@@ -47,6 +47,9 @@ def _sim_clock(sim: object) -> typing.Callable[[], float]:
 _per_sim: "weakref.WeakKeyDictionary[object, Telemetry]" = (
     weakref.WeakKeyDictionary()
 )
+# The fallback bundle serves code running outside any simulation, where
+# a wall clock is the only clock there is; sim-bound bundles get the
+# deterministic _sim_clock above.  # devlint: ignore[RD101]
 _global = Telemetry(tracer=Tracer(clock=time.monotonic))
 
 

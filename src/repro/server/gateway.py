@@ -291,6 +291,8 @@ class Gateway:
         # retransmitted below the layer we simulate).  Consignment bytes
         # that arrived on the data plane cross the firewall here too.
         fw_extra = 0
+        # Byte accounting for the firewall hop, not a dispatch site:
+        # the verb's handler lives in _dispatch.  # devlint: ignore[RD402]
         if request.kind == RequestKind.CONSIGN_JOB:
             try:
                 fw_extra = sum(

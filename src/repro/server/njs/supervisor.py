@@ -1855,7 +1855,7 @@ class NetworkJobSupervisor:
         if run.held:
             self.resume(run.job_id)
             run.cancelled = True
-        for action_id, (vsite_name, local_id) in run.batch_jobs.items():
+        for vsite_name, local_id in run.batch_jobs.values():
             batch = self.vsites[vsite_name].batch
             record = batch.query(local_id)
             if not record.state.is_terminal:

@@ -9,6 +9,7 @@ the NJS incarnates against.
 
 from __future__ import annotations
 
+import math
 from repro.batch.base import BatchSystem, QueueConfig
 from repro.batch.machines import MachineConfig
 from repro.resources.editor import ResourcePageEditor
@@ -82,7 +83,7 @@ class Vsite:
         scheduler=None,
         translation: TranslationTable | None = None,
         resource_page: ResourcePage | None = None,
-        uspace_quota_bytes: float = float("inf"),
+        uspace_quota_bytes: float = math.inf,
     ) -> None:
         self.sim = sim
         self.machine = machine

@@ -267,7 +267,7 @@ class Simulator:
                 return stop_event._value
             exc = typing.cast(BaseException, stop_event._value)
             stop_event._defused = True
-            raise exc
+            raise exc from None
         if stop_event is not None:
             raise RuntimeError(
                 f"simulation queue drained before {stop_event!r} triggered"

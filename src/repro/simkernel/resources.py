@@ -7,6 +7,7 @@ with :class:`Container`, and NJS worker loops block on :class:`SimQueue`.
 
 from __future__ import annotations
 
+import math
 import collections
 import typing
 
@@ -26,7 +27,7 @@ class Store:
     FIFO on both sides, so consumers are served in arrival order.
     """
 
-    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+    def __init__(self, sim: "Simulator", capacity: float = math.inf) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.sim = sim

@@ -35,6 +35,11 @@ from dataclasses import dataclass, field
 from repro.storage.codec import decode_value, encode_value
 from repro.storage.errors import StorageError
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    import types
+
+    from repro.observability.metrics import MetricsRegistry
+
 __all__ = [
     "Table",
     "Log",
@@ -137,7 +142,7 @@ class StorageBackend:
         self.fsyncs = 0
         self.bytes_written = 0
         self.bytes_read = 0
-        self._metrics = None
+        self._metrics: MetricsRegistry | None = None
         self._batch_depth = 0
 
     # -- public surface ------------------------------------------------------
@@ -151,7 +156,7 @@ class StorageBackend:
         """Group writes into one durable unit (one fsync, all-or-nothing)."""
         return _Batch(self)
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
         """Mirror the storage counters into a metrics registry."""
         self._metrics = registry
 
@@ -159,7 +164,7 @@ class StorageBackend:
         """Release backend resources (no-op by default)."""
 
     # -- snapshot support ----------------------------------------------------
-    def dump(self) -> dict:
+    def dump(self) -> dict[str, typing.Any]:
         """The entire backend contents in codec-plain form."""
         from repro.storage.codec import to_plain
 
@@ -176,7 +181,7 @@ class StorageBackend:
         }
         return {"tables": tables, "logs": logs}
 
-    def load(self, dump: dict) -> None:
+    def load(self, dump: dict[str, typing.Any]) -> None:
         """Replace the backend contents with a :meth:`dump`."""
         from repro.storage.codec import from_plain
 
@@ -270,7 +275,12 @@ class _Batch:
             self._backend._begin()
         self._backend._batch_depth += 1
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: types.TracebackType | None,
+    ) -> None:
         self._backend._batch_depth -= 1
         if self._backend._batch_depth == 0:
             if exc_type is None:
@@ -352,13 +362,13 @@ def resolve_storage(spec: "StorageSpec | str | None" = None) -> StorageBackend:
 def _memory_factory(**options: object) -> StorageBackend:
     from repro.storage.memory import MemoryBackend
 
-    return MemoryBackend(**typing.cast(dict, options))
+    return MemoryBackend(**typing.cast("dict[str, typing.Any]", options))
 
 
 def _sqlite_factory(**options: object) -> StorageBackend:
     from repro.storage.sqlite import SQLiteBackend
 
-    return SQLiteBackend(**typing.cast(dict, options))
+    return SQLiteBackend(**typing.cast("dict[str, typing.Any]", options))
 
 
 register_backend("memory", _memory_factory)

@@ -27,6 +27,12 @@ from dataclasses import dataclass, field
 from repro.storage.backend import StorageBackend
 from repro.storage.memory import MemoryBackend
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import MetricsRegistry
+
+#: ``(corr_id, reply_usite, return_files)`` carried by forwarded groups.
+ForwardMeta = tuple[str, str, tuple[str, ...]]
+
 __all__ = ["JournalEntry", "JobJournal"]
 
 
@@ -43,7 +49,7 @@ class JournalEntry:
     parent_job_id: str | None = None
     #: ``(corr_id, reply_usite, return_files)`` for forwarded groups, so
     #: a replayed group can still send its GroupResult home.
-    forward_meta: tuple | None = None
+    forward_meta: ForwardMeta | None = None
     #: Batch jobs delivered before the crash: ``action_id -> (vsite,
     #: local_id)``.  Replay cancels the survivors before resubmitting.
     delivered: dict[str, tuple[str, str]] = field(default_factory=dict)
@@ -57,7 +63,7 @@ class JobJournal:
         self,
         storage: StorageBackend | None = None,
         name: str = "njs.journal",
-        metrics=None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.storage = storage if storage is not None else MemoryBackend()
         self.name = name
@@ -78,7 +84,7 @@ class JobJournal:
         """
         return self._records_written
 
-    def _append(self, record: dict) -> None:
+    def _append(self, record: dict[str, typing.Any]) -> None:
         self._log.append(record)
         self._records_written += 1
         if self._metrics is not None:
@@ -93,7 +99,7 @@ class JobJournal:
         workstation_files: dict[str, bytes] | None = None,
         trace_id: str = "",
         parent_job_id: str | None = None,
-        forward_meta: tuple | None = None,
+        forward_meta: ForwardMeta | None = None,
     ) -> JournalEntry:
         entry = JournalEntry(
             job_id=job_id,
@@ -149,9 +155,9 @@ class JobJournal:
         """Rebuild the entry table from the durable log (cold start)."""
         self._entries.clear()
         for record in self._log.records():
-            self._fold(typing.cast(dict, record))
+            self._fold(typing.cast("dict[str, typing.Any]", record))
 
-    def _fold(self, record: dict) -> None:
+    def _fold(self, record: dict[str, typing.Any]) -> None:
         kind = record["kind"]
         job_id = record["job_id"]
         if kind == "consign":

@@ -55,7 +55,7 @@ class OutcomeStore:
         })
 
     def get(self, job_id: str) -> OutcomeRecord | None:
-        raw = typing.cast("dict | None", self._table.get(job_id))
+        raw = typing.cast("dict[str, typing.Any] | None", self._table.get(job_id))
         if raw is None:
             return None
         return OutcomeRecord(

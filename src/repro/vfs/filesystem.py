@@ -8,6 +8,7 @@ content bytes only.
 
 from __future__ import annotations
 
+import math
 import typing
 
 from repro.vfs.errors import (
@@ -48,7 +49,7 @@ class InMemoryFileSystem:
         Total content bytes allowed (``inf`` = unlimited).
     """
 
-    def __init__(self, name: str = "fs", quota_bytes: float = float("inf")) -> None:
+    def __init__(self, name: str = "fs", quota_bytes: float = math.inf) -> None:
         if quota_bytes <= 0:
             raise VFSError("quota must be positive")
         self.name = name

@@ -9,6 +9,7 @@ Vsite ... implemented as a copy process" (section 5.6).
 
 from __future__ import annotations
 
+import math
 from repro.vfs.errors import VFSError
 from repro.vfs.filesystem import InMemoryFileSystem
 
@@ -18,7 +19,7 @@ __all__ = ["Workstation", "Xspace", "Uspace", "UspaceManager"]
 class Workstation:
     """The user's local machine: files that ride along inside the AJO."""
 
-    def __init__(self, owner_dn: str, quota_bytes: float = float("inf")) -> None:
+    def __init__(self, owner_dn: str, quota_bytes: float = math.inf) -> None:
         self.owner_dn = owner_dn
         self.fs = InMemoryFileSystem(name=f"workstation:{owner_dn}", quota_bytes=quota_bytes)
 
@@ -34,7 +35,7 @@ class Workstation:
 class Xspace:
     """The site file systems of one Usite (outside UNICORE control)."""
 
-    def __init__(self, usite: str, quota_bytes: float = float("inf")) -> None:
+    def __init__(self, usite: str, quota_bytes: float = math.inf) -> None:
         self.usite = usite
         self.fs = InMemoryFileSystem(name=f"xspace:{usite}", quota_bytes=quota_bytes)
 
@@ -85,7 +86,7 @@ class Uspace:
 class UspaceManager:
     """Creates and destroys Uspaces on a Vsite's UNICORE spool filesystem."""
 
-    def __init__(self, vsite: str, quota_bytes: float = float("inf")) -> None:
+    def __init__(self, vsite: str, quota_bytes: float = math.inf) -> None:
         self.vsite = vsite
         self.fs = InMemoryFileSystem(name=f"uspace:{vsite}", quota_bytes=quota_bytes)
         self._active: dict[str, Uspace] = {}

@@ -54,7 +54,7 @@ def test_thirty_concurrent_jobs_across_six_sites():
     assert len(results) == 30
     assert all(status == "successful" for _, status in results)
     # Conservation at every tier.
-    for name, usite in grid.usites.items():
+    for usite in grid.usites.values():
         for run in usite.njs._runs.values():
             assert run.status().is_terminal
         for vsite in usite.vsites.values():

@@ -33,7 +33,9 @@ def _equal(a, b) -> bool:
     if isinstance(a, float) and isinstance(b, float):
         return (math.isnan(a) and math.isnan(b)) or a == b
     if isinstance(a, list) and isinstance(b, list):
-        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+        return len(a) == len(b) and all(
+            _equal(x, y) for x, y in zip(a, b, strict=True)
+        )
     if isinstance(a, dict) and isinstance(b, dict):
         return set(a) == set(b) and all(_equal(a[k], b[k]) for k in a)
     return a == b and type(a) is type(b)

@@ -128,7 +128,7 @@ def test_consignment_streamed_roundtrip(ajo, inline, streamed):
     assert back.files == inline
     # The codec canonicalizes entry order by path.
     assert list(back.streamed) == sorted(entries, key=lambda e: e.path)
-    for (_, content, _), entry in zip(streamed, entries):
+    for (_, content, _), entry in zip(streamed, entries, strict=True):
         assert entry.size == len(content)
         assert entry.crc32 == zlib.crc32(content)
     if entries:

@@ -1,0 +1,529 @@
+"""The developer linter (repro.devlint): every RD rule, both ways.
+
+Each rule gets the same treatment the consign-time analyzer's tests
+give the AJO rules: a seeded violation must produce exactly the
+expected code, and the clean spelling of the same construct must
+produce nothing.  On top of the rule packs, the engine machinery is
+pinned — inline pragmas, baseline fingerprints, deterministic ordering
+— and one acceptance test runs the real rule set over the real repo,
+which must stay clean (devlint is a hard CI gate).
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.errors
+import repro.observability.registry as obs_registry
+from repro.devlint import (
+    DevDiagnostic,
+    Severity,
+    default_rules,
+    discover_project,
+    load_baseline,
+    run_devlint,
+    write_baseline,
+)
+from repro.devlint.diagnostics import DevReport
+from repro.devlint.engine import Project, SourceFile, _parse_pragmas
+from repro.devlint.rules_determinism import determinism_rules
+from repro.devlint.rules_observability import (
+    DeadRegistryEntryRule,
+    MetricNameRule,
+    extract_metric_uses,
+)
+from repro.devlint.rules_protocol import ShimConventionRule, VerbDispatchRule
+from repro.devlint.rules_registry import (
+    CodeLiteralRule,
+    ErrorClassDeclarationRule,
+    ReadmeCodeTableRule,
+    readme_table_codes,
+)
+
+
+def sf(source: str, rel: str = "src/repro/example.py") -> SourceFile:
+    return SourceFile(
+        path=Path("/repo") / rel,
+        rel=rel,
+        source=source,
+        tree=ast.parse(source),
+        ignores=_parse_pragmas(source),
+    )
+
+
+def project(*files: SourceFile, readme: str = "") -> Project:
+    return Project(root=Path("/repo"), files=list(files), readme=readme)
+
+
+def codes_from(rule, f: SourceFile) -> list[str]:
+    return [d.code for d in rule.run(f)]
+
+
+def rule_by_code(code: str):
+    for rule in determinism_rules():
+        if rule.code == code:
+            return rule
+    raise LookupError(code)
+
+
+# -- RD1xx determinism --------------------------------------------------------
+
+@pytest.mark.parametrize("source", [
+    "import time\nt = time.time()\n",
+    "import time\nt = time.monotonic()\n",
+    "import time\nclock = time.perf_counter\n",          # bare reference
+    "from datetime import datetime\nd = datetime.now()\n",
+    "import datetime\nd = datetime.date.today()\n",
+])
+def test_rd101_fires_on_wall_clock(source):
+    assert codes_from(rule_by_code("RD101"), sf(source)) == ["RD101"]
+
+
+def test_rd101_quiet_on_sim_clock():
+    clean = "def handler(sim):\n    return sim.now\n"
+    assert codes_from(rule_by_code("RD101"), sf(clean)) == []
+
+
+def test_rd101_allowlists_the_aio_transport():
+    source = "import time\nt = time.monotonic()\n"
+    f = sf(source, rel="src/repro/net/aio_transport.py")
+    assert codes_from(rule_by_code("RD101"), f) == []
+
+
+@pytest.mark.parametrize("source", [
+    "import random\nx = random.random()\n",
+    "import random\nrandom.shuffle(items)\n",
+    "import random\nrng = random.Random()\n",
+])
+def test_rd102_fires_on_unseeded_randomness(source):
+    assert codes_from(rule_by_code("RD102"), sf(source)) == ["RD102"]
+
+
+def test_rd102_quiet_on_seeded_rng():
+    clean = "import random\nrng = random.Random(seed)\nx = rng.random()\n"
+    assert codes_from(rule_by_code("RD102"), sf(clean)) == []
+
+
+@pytest.mark.parametrize("source", [
+    "import os\nkey = os.urandom(16)\n",
+    "import uuid\njob = uuid.uuid4()\n",
+    "import secrets\ntok = secrets.token_hex(8)\n",
+])
+def test_rd103_fires_on_os_entropy(source):
+    assert codes_from(rule_by_code("RD103"), sf(source)) == ["RD103"]
+
+
+def test_rd104_fires_on_unsorted_listing_and_quiet_when_sorted():
+    dirty = "import os\nfor name in os.listdir(path):\n    use(name)\n"
+    clean = "import os\nfor name in sorted(os.listdir(path)):\n    use(name)\n"
+    rule = rule_by_code("RD104")
+    assert codes_from(rule, sf(dirty)) == ["RD104"]
+    assert codes_from(rule, sf(clean)) == []
+
+
+def test_rd105_fires_on_set_iteration_and_quiet_when_sorted():
+    dirty = "for item in {1, 2, 3}:\n    use(item)\n"
+    algebra = "xs = [x for x in set(a) | set(b)]\n"
+    clean = "for item in sorted({1, 2, 3}):\n    use(item)\n"
+    rule = rule_by_code("RD105")
+    assert codes_from(rule, sf(dirty)) == ["RD105"]
+    assert codes_from(rule, sf(algebra)) == ["RD105"]
+    assert codes_from(rule, sf(clean)) == []
+
+
+def test_rd106_fires_on_id_ordering():
+    keyed = "order = sorted(objs, key=id)\n"
+    compared = "if id(a) < id(b):\n    swap()\n"
+    clean = "order = sorted(objs, key=lambda o: o.name)\n"
+    rule = rule_by_code("RD106")
+    assert codes_from(rule, sf(keyed)) == ["RD106"]
+    # One finding per id() call in the comparison.
+    assert set(codes_from(rule, sf(compared))) == {"RD106"}
+    assert codes_from(rule, sf(clean)) == []
+
+
+# -- RD2xx error-code registry ------------------------------------------------
+
+class _FakeBase:
+    code = "fake.base"
+
+
+def _fake_class(name, **ns):
+    return type(name, (_FakeBase,), dict({"__qualname__": name}, **ns))
+
+
+def test_rd201_fires_on_missing_own_code(monkeypatch):
+    silent = _fake_class("SilentError")  # inherits fake.base
+    monkeypatch.setattr(
+        repro.errors, "iter_error_classes", lambda: iter([_FakeBase, silent])
+    )
+    found = list(ErrorClassDeclarationRule().check_project(project()))
+    assert [d.code for d in found] == ["RD201"]
+    assert "SilentError" in found[0].message
+
+
+def test_rd201_fires_on_malformed_code(monkeypatch):
+    bad = _fake_class("ShoutyError", code="NOT_DOTTED")
+    monkeypatch.setattr(
+        repro.errors, "iter_error_classes", lambda: iter([bad])
+    )
+    found = list(ErrorClassDeclarationRule().check_project(project()))
+    assert [d.code for d in found] == ["RD201"]
+    assert "NOT_DOTTED" in found[0].message
+
+
+def test_rd201_exempts_instance_coded_classes(monkeypatch):
+    per_instance = _fake_class("PerInstanceError")
+    monkeypatch.setattr(
+        repro.errors, "iter_error_classes", lambda: iter([per_instance])
+    )
+    decl = (
+        "class PerInstanceError(Base):\n"
+        "    def __init__(self, report):\n"
+        "        self.code = report.code\n"
+    )
+    p = project(sf(decl))
+    assert list(ErrorClassDeclarationRule().check_project(p)) == []
+
+
+def test_rd202_fires_on_duplicate_codes(monkeypatch):
+    first = _fake_class("FirstError", code="dup.code")
+    second = _fake_class("SecondError", code="dup.code")
+    monkeypatch.setattr(
+        repro.errors, "iter_error_classes", lambda: iter([first, second])
+    )
+    found = list(ErrorClassDeclarationRule().check_project(project()))
+    assert [d.code for d in found] == ["RD202"]
+
+
+def test_rd203_fires_on_unregistered_code_literal():
+    dirty = sf('reply = Reply(ok=False, error_code="no.such_code")\n')
+    found = list(CodeLiteralRule().check_project(project(dirty)))
+    assert [d.code for d in found] == ["RD203"]
+
+
+def test_rd203_quiet_on_registered_and_non_code_literals():
+    clean = sf(
+        'a = Reply(ok=False, error_code="net.error")\n'
+        'b = err.code == "faults.circuit_open"\n'
+        'c = Diagnostic(code="AJO101")\n'
+        'd = make(code="not a code shape")\n'
+        'e = Reply(ok=True, error_code="")\n'
+    )
+    assert list(CodeLiteralRule().check_project(project(clean))) == []
+
+
+def test_readme_table_codes_only_reads_code_tables():
+    readme = (
+        "| code | class |\n|---|---|\n| `net.error` | `NetworkError` |\n"
+        "\nprose mentioning `другое.имя` and `span.name`\n"
+        "| metric | value |\n|---|---|\n| `gateway.requests` | 1 |\n"
+    )
+    assert [c for _, c in readme_table_codes(readme)] == ["net.error"]
+
+
+def test_rd204_and_rd205_diff_readme_against_registry(monkeypatch):
+    monkeypatch.setattr(
+        repro.errors, "error_code_registry",
+        lambda: {"net.error": _FakeBase, "extra.code": _FakeBase},
+    )
+    readme = (
+        "| code | class |\n|---|---|\n"
+        "| `net.error` | `X` |\n| `bogus.code` | `Y` |\n"
+    )
+    found = list(ReadmeCodeTableRule().check_project(project(readme=readme)))
+    assert sorted(d.code for d in found) == ["RD204", "RD205"]
+    by_code = {d.code: d for d in found}
+    assert "bogus.code" in by_code["RD204"].message
+    assert "extra.code" in by_code["RD205"].message
+
+
+# -- RD3xx observability registry ---------------------------------------------
+
+@pytest.fixture
+def small_registry(monkeypatch):
+    monkeypatch.setattr(obs_registry, "COUNTERS", frozenset({"gw.requests"}))
+    monkeypatch.setattr(obs_registry, "COUNTER_PREFIXES", frozenset({"fam."}))
+    monkeypatch.setattr(obs_registry, "HISTOGRAMS", frozenset({"gw.seconds"}))
+    monkeypatch.setattr(obs_registry, "SPANS", frozenset({"gw.request"}))
+    monkeypatch.setattr(obs_registry, "SPAN_PREFIXES", frozenset())
+
+
+def test_extract_metric_uses_reads_literals_and_fstring_prefixes():
+    f = sf(
+        'm.counter("a.b").inc()\n'
+        'm.histogram("c.d").observe(1)\n'
+        't.start_span("e.f", parent=None)\n'
+        'm.counter(f"fam.{kind}").inc()\n'
+        "m.counter(name_variable)\n"  # forwarder: skipped
+    )
+    uses = extract_metric_uses(f)
+    # The variable-name forwarder must be skipped; order is not part of
+    # the contract (callers aggregate into sets).
+    assert sorted((u.kind, u.name, u.dynamic) for u in uses) == [
+        ("counter", "a.b", False),
+        ("counter", "fam.", True),
+        ("histogram", "c.d", False),
+        ("span", "e.f", False),
+    ]
+
+
+def test_rd301_302_303_fire_on_unregistered_names(small_registry):
+    f = sf(
+        'm.counter("gw.requets").inc()\n'      # typo'd counter
+        'm.histogram("gw.secnds").observe(1)\n'
+        't.start_span("gw.reqest")\n'
+    )
+    found = list(MetricNameRule().check_project(project(f)))
+    assert sorted(d.code for d in found) == ["RD301", "RD302", "RD303"]
+
+
+def test_rd304_fires_on_unknown_dynamic_family(small_registry):
+    f = sf('m.counter(f"other.{kind}").inc()\n')
+    found = list(MetricNameRule().check_project(project(f)))
+    assert [d.code for d in found] == ["RD304"]
+
+
+def test_metric_rules_quiet_on_registered_names(small_registry):
+    f = sf(
+        'm.counter("gw.requests").inc()\n'
+        'm.histogram("gw.seconds").observe(1)\n'
+        't.start_span("gw.request")\n'
+        'm.counter(f"fam.{kind}").inc()\n'
+    )
+    assert list(MetricNameRule().check_project(project(f))) == []
+    assert list(DeadRegistryEntryRule().check_project(project(f))) == []
+
+
+def test_rd305_fires_on_dead_registry_entries(small_registry):
+    # Nothing emits gw.requests / gw.seconds / gw.request / fam.*
+    found = list(DeadRegistryEntryRule().check_project(project(sf("x = 1\n"))))
+    assert {d.code for d in found} == {"RD305"}
+    assert len(found) == 4
+
+
+def test_metric_rules_skip_the_observability_layer(small_registry):
+    f = sf(
+        'self.counter("anything.at_all").inc()\n',
+        rel="src/repro/observability/metrics.py",
+    )
+    assert list(MetricNameRule().check_project(project(f))) == []
+
+
+# -- RD4xx protocol & shim consistency ----------------------------------------
+
+def _protocol_files(gateway_body: str):
+    messages = sf(
+        "class RequestKind:\n"
+        '    SUBMIT = "submit"\n'
+        '    QUERY = "query"\n'
+        "    ALL = (SUBMIT, QUERY)\n",
+        rel="src/repro/protocol/messages.py",
+    )
+    gateway = sf(gateway_body, rel="src/repro/server/gateway.py")
+    return project(messages, gateway)
+
+
+def test_verb_dispatch_quiet_on_one_to_one():
+    p = _protocol_files(
+        "def dispatch(request):\n"
+        "    if request.kind == RequestKind.SUBMIT:\n"
+        "        return submit(request)\n"
+        "    if request.kind == RequestKind.QUERY:\n"
+        "        return query(request)\n"
+    )
+    assert list(VerbDispatchRule().check_project(p)) == []
+
+
+def test_rd401_fires_on_unhandled_verb():
+    p = _protocol_files(
+        "def dispatch(request):\n"
+        "    if request.kind == RequestKind.SUBMIT:\n"
+        "        return submit(request)\n"
+    )
+    found = list(VerbDispatchRule().check_project(p))
+    assert [d.code for d in found] == ["RD401"]
+    assert "QUERY" in found[0].message
+
+
+def test_rd402_fires_on_double_dispatch():
+    p = _protocol_files(
+        "def dispatch(request):\n"
+        "    if request.kind == RequestKind.SUBMIT:\n"
+        "        return submit(request)\n"
+        "    if request.kind == RequestKind.QUERY:\n"
+        "        return query(request)\n"
+        "    if request.kind == RequestKind.SUBMIT:\n"
+        "        return never_reached(request)\n"
+    )
+    found = list(VerbDispatchRule().check_project(p))
+    assert [d.code for d in found] == ["RD402"]
+
+
+def test_rd402_pragma_marks_non_dispatch_comparisons():
+    p = _protocol_files(
+        "def dispatch(request):\n"
+        "    if request.kind == RequestKind.SUBMIT:\n"
+        "        return submit(request)\n"
+        "    if request.kind == RequestKind.QUERY:\n"
+        "        return query(request)\n"
+        "    # accounting only  # devlint: ignore[RD402]\n"
+        "    if request.kind == RequestKind.SUBMIT:\n"
+        "        count()\n"
+    )
+    assert list(VerbDispatchRule().check_project(p)) == []
+
+
+def test_rd403_fires_on_stale_handler():
+    p = _protocol_files(
+        "def dispatch(request):\n"
+        "    if request.kind == RequestKind.SUBMIT:\n"
+        "        return submit(request)\n"
+        "    if request.kind == RequestKind.QUERY:\n"
+        "        return query(request)\n"
+        "    if request.kind == RequestKind.RENAMED_AWAY:\n"
+        "        return stale(request)\n"
+    )
+    found = list(VerbDispatchRule().check_project(p))
+    assert [d.code for d in found] == ["RD403"]
+
+
+def test_rd404_fires_on_hand_rolled_shim():
+    f = sf(
+        "import warnings\n"
+        "def __getattr__(name):\n"
+        "    warnings.warn('gone', DeprecationWarning)\n"
+        "    raise AttributeError(name)\n",
+        rel="src/repro/old_home.py",
+    )
+    found = list(ShimConventionRule().check_project(project(f)))
+    assert [d.code for d in found] == ["RD404"]
+
+
+def test_rd405_fires_when_dir_hook_is_dropped():
+    f = sf(
+        "from repro._compat import deprecated_module_attr\n"
+        "__getattr__ = deprecated_module_attr(__name__, globals(), {})\n",
+        rel="src/repro/old_home.py",
+    )
+    found = list(ShimConventionRule().check_project(project(f)))
+    assert [d.code for d in found] == ["RD405"]
+
+
+def test_shim_rules_quiet_on_the_blessed_spelling():
+    f = sf(
+        "from repro._compat import deprecated_module_attr\n"
+        "__getattr__, __dir__ = deprecated_module_attr(\n"
+        "    __name__, globals(), {'Old': 'repro.new_home'}\n"
+        ")\n",
+        rel="src/repro/old_home.py",
+    )
+    assert list(ShimConventionRule().check_project(project(f))) == []
+
+
+# -- engine: pragmas, baseline, ordering, report ------------------------------
+
+def test_inline_pragma_suppresses_on_line_and_from_line_above():
+    same_line = sf(
+        "import time\nt = time.time()  # devlint: ignore[RD101]\n"
+    )
+    line_above = sf(
+        "import time\n# devlint: ignore[RD101]\nt = time.time()\n"
+    )
+    other_code = sf(
+        "import time\nt = time.time()  # devlint: ignore[RD104]\n"
+    )
+    rules = [rule_by_code("RD101")]
+    assert run_devlint(rules=rules, project=project(same_line)).ok
+    assert run_devlint(rules=rules, project=project(line_above)).ok
+    report = run_devlint(rules=rules, project=project(other_code))
+    assert [d.code for d in report.diagnostics] == ["RD101"]
+
+
+def test_bare_pragma_suppresses_every_code():
+    f = sf("import time\nt = time.time()  # devlint: ignore\n")
+    report = run_devlint(rules=[rule_by_code("RD101")], project=project(f))
+    assert report.ok and report.suppressed == 1
+
+
+def test_pragma_inside_string_literal_does_not_count():
+    f = sf('msg = "# devlint: ignore[RD101]"\nimport time\nt = time.time()\n')
+    report = run_devlint(rules=[rule_by_code("RD101")], project=project(f))
+    assert [d.code for d in report.diagnostics] == ["RD101"]
+
+
+def test_baseline_roundtrip_suppresses_by_fingerprint(tmp_path):
+    f = sf("import time\nt = time.time()\n")
+    rules = [rule_by_code("RD101")]
+    first = run_devlint(rules=rules, project=project(f))
+    assert not first.ok
+    path = tmp_path / "baseline.json"
+    assert write_baseline(path, first) == 1
+    suppressions = load_baseline(path)
+    second = run_devlint(rules=rules, project=project(f), baseline=suppressions)
+    assert second.ok and second.suppressed == 1
+    # Fingerprints are line-independent: edits above the site keep the
+    # baseline entry matching.
+    shifted = sf("import time\nimport os\n\nt = time.time()\n")
+    third = run_devlint(
+        rules=rules, project=project(shifted), baseline=suppressions
+    )
+    assert third.ok and third.suppressed == 1
+
+
+def test_load_baseline_rejects_malformed_files(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 7}))
+    with pytest.raises(ValueError, match="not a devlint baseline"):
+        load_baseline(path)
+
+
+def test_report_orders_diagnostics_and_serializes():
+    f = sf(
+        "import time\n"
+        "b = time.time()\n"
+        "import os\n"
+        "for x in os.listdir(p):\n"
+        "    use(x)\n"
+    )
+    report = run_devlint(
+        rules=[rule_by_code("RD104"), rule_by_code("RD101")],
+        project=project(f),
+    )
+    assert [d.code for d in report.diagnostics] == ["RD101", "RD104"]
+    payload = report.to_dict()
+    assert payload["ok"] is False and payload["errors"] == 2
+    rendered = report.render()
+    assert "RD101" in rendered and "error(s)" in rendered
+
+
+def test_severity_gate_only_counts_errors():
+    warn = DevDiagnostic(
+        code="RD999", severity=Severity.WARNING, message="m", file="f", line=1
+    )
+    report = DevReport(diagnostics=(warn,))
+    assert report.ok and len(report.warnings) == 1
+
+
+# -- acceptance: the repo itself is clean -------------------------------------
+
+def test_default_rules_cover_all_four_packs():
+    packs = {rule.code[:3] for rule in default_rules()}
+    assert packs == {"RD1", "RD2", "RD3", "RD4"}
+
+
+def test_repo_tree_is_devlint_clean():
+    """The hard CI gate, as a test: the shipped tree has zero findings."""
+    report = run_devlint()
+    assert report.ok, report.render()
+    assert report.files_scanned > 100
+
+
+def test_discover_project_reads_sources_and_readme():
+    p = discover_project()
+    rels = {f.rel for f in p.files}
+    assert "src/repro/devlint/engine.py" in rels
+    assert all(rel.startswith("src/repro/") for rel in rels)
+    assert "unicore-repro" in p.readme
